@@ -1,0 +1,129 @@
+// Command dvsim runs the paper's experiment suite on the simulated Itsy
+// platform and prints the outcomes against the published numbers.
+//
+// Usage:
+//
+//	dvsim [-exp 2C] [-all] [-rotation N] [-battery twowell|ideal|peukert|kibam]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvsim/internal/battery"
+	"dvsim/internal/core"
+	"dvsim/internal/report"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "single experiment to run (0A, 0B, 1, 1A, 2, 2A, 2B, 2C)")
+	rotation := flag.Int("rotation", 0, "override rotation period for 2C (frames)")
+	batFlag := flag.String("battery", "twowell", "battery model: twowell, ideal, peukert, kibam")
+	compare := flag.Bool("compare", false, "print the paper-vs-model comparison table")
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the table")
+	workers := flag.Int("j", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+	plan := flag.Float64("plan", 0, "plan the cheapest configuration reaching this battery life (hours)")
+	runlog := flag.Float64("runlog", 0, "with -exp: emit a JSONL event log of the first N seconds instead of running to exhaustion")
+	paramsFile := flag.String("params", "", "load a JSON platform config instead of the calibrated Itsy defaults")
+	dump := flag.Bool("dumpparams", false, "write the default platform config as JSON and exit")
+	flag.Parse()
+
+	if *dump {
+		if err := core.SavePlatform(os.Stdout, core.DefaultPlatformConfig()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	p := core.DefaultParams()
+	if *paramsFile != "" {
+		f, err := os.Open(*paramsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p, err = core.LoadPlatform(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *rotation > 0 {
+		p.RotationPeriod = *rotation
+	}
+	switch *batFlag {
+	case "twowell":
+		// Default.
+	case "ideal":
+		cap := core.DefaultItsyBatteryParams().CapacityMAh
+		p.Battery = func() battery.Model { return battery.NewIdeal(cap) }
+	case "peukert":
+		cap := core.DefaultItsyBatteryParams().CapacityMAh
+		p.Battery = func() battery.Model { return battery.NewPeukert(cap, 65, 1.2) }
+	case "kibam":
+		cap := core.DefaultItsyBatteryParams().CapacityMAh
+		p.Battery = func() battery.Model { return battery.NewKiBaM(cap, 0.1, 1e-3) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown battery model %q\n", *batFlag)
+		os.Exit(2)
+	}
+
+	if *runlog > 0 {
+		id := core.Exp1
+		if *expFlag != "" {
+			id = core.ID(*expFlag)
+		}
+		if _, err := core.RunLogged(id, p, *runlog, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *plan > 0 {
+		c, err := core.PlanForLifetime(p, *plan, 4, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		fmt.Printf("target %.1f h -> %s: %d node(s), %.2f h, %d frames\n",
+			*plan, c.Name, c.Nodes(), c.Outcome.BatteryLifeH, c.Outcome.Frames)
+		for i, s := range c.Stages {
+			fmt.Printf("  node%d: %-40v compute %.1f MHz, comm %.1f MHz\n",
+				i+1, s.Span, s.Compute.FreqMHz, s.Comm.FreqMHz)
+		}
+		if c.RotationPeriod > 1 {
+			fmt.Printf("  node rotation every %d frames\n", c.RotationPeriod)
+		}
+		return
+	}
+
+	ids := core.AllExperiments
+	if *expFlag != "" {
+		ids = []core.ID{core.ID(*expFlag)}
+	}
+	outs := core.RunSuiteParallel(ids, p, *workers)
+
+	if *csvOut {
+		fmt.Print(report.CSV(outs))
+		return
+	}
+	if *compare {
+		fmt.Println(report.Compare(outs))
+		return
+	}
+
+	fmt.Printf("%-4s %-44s %6s %9s %9s %9s %7s %8s %8s\n",
+		"exp", "technique", "nodes", "T (h)", "paper(h)", "F", "paperF", "Tnorm", "Rnorm")
+	for _, o := range outs {
+		fmt.Printf("%-4s %-44s %6d %9.2f %9.2f %9d %7d %8.2f %7.0f%%\n",
+			o.ID, o.Label, o.Nodes, o.BatteryLifeH, core.PaperHours(o.ID),
+			o.Frames, core.PaperFrames(o.ID), o.TnormH, o.Rnorm*100)
+		for _, ns := range o.NodeStats {
+			fmt.Printf("     · %-8s died %6.2fh  proc %6d  results %6d  rot %4d  mig %d  %6.1f mAh  SoC %4.0f%%  (idle %.0fs comm %.0fs compute %.0fs)\n",
+				ns.Name, ns.DiedAtH, ns.FramesProcessed, ns.ResultsSent, ns.Rotations,
+				ns.Migrations, ns.DeliveredMAh, ns.FinalSoC*100, ns.IdleS, ns.CommS, ns.ComputeS)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation from the simulated platform: the performance profile
+// (Fig 6), the power profile (Fig 7), the partitioning schemes (Fig 8),
+// the timing diagrams (Figs 2/3/9 as mode timelines), and the experiment
+// summary (Fig 10) with a paper-vs-model comparison.
+//
+// Usage:
+//
+//	paperbench            # everything
+//	paperbench -fig 8     # one figure: 6, 7, 8, 10, timeline, compare
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dvsim/internal/battery"
+	"dvsim/internal/core"
+	"dvsim/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 10, timeline, discharge, energy, compare, md, all")
+	flag.Parse()
+
+	p := core.DefaultParams()
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("6") {
+		fmt.Println(report.Fig6(p.Profile, p.Link))
+	}
+	if want("7") {
+		fmt.Println(report.Fig7(p.Power))
+	}
+	if want("8") {
+		fmt.Println(report.Fig8(p))
+	}
+	if want("discharge") {
+		fmt.Println("Discharge curves of the calibrated pack (the Itsy power monitor's view)")
+		fmt.Println(report.DischargePlot(p.Battery, battery.DefaultVoltageModel(),
+			[]float64{40, 65, 105, 130}, 72, 14))
+	}
+	if want("timeline") {
+		fmt.Println("Fig 2 — single node (baseline), first three frames")
+		tr := core.RunTraced(core.Exp1, p, 3*p.FrameDelayS)
+		fmt.Println(report.Timeline([]string{"node1"}, tr, 0, 3*p.FrameDelayS, 69))
+
+		fmt.Println("Fig 3 — two pipelined nodes (partitioning), first four frames")
+		tr = core.RunTraced(core.Exp2, p, 4*p.FrameDelayS)
+		fmt.Println(report.Timeline([]string{"node1", "node2"}, tr, 0, 4*p.FrameDelayS, 80))
+
+		fmt.Println("Fig 9 — node rotation across the rotation boundary")
+		pr := p
+		pr.RotationPeriod = 4
+		tr = core.RunTraced(core.Exp2C, pr, 9*pr.FrameDelayS)
+		fmt.Println(report.Timeline([]string{"node1", "node2"}, tr, 0, 9*pr.FrameDelayS, 90))
+	}
+	if want("10") || want("compare") || want("energy") || want("md") {
+		outs := core.RunSuiteParallel(core.AllExperiments, p, 0)
+		if want("10") {
+			var fig10 []core.Outcome
+			for _, o := range outs {
+				for _, id := range core.Fig10Experiments {
+					if o.ID == id {
+						fig10 = append(fig10, o)
+					}
+				}
+			}
+			fmt.Println(report.Fig10(fig10))
+		}
+		if want("compare") {
+			fmt.Println(report.Compare(outs))
+		}
+		if want("energy") {
+			fmt.Println(report.EnergyBreakdown(outs))
+		}
+		if *fig == "md" {
+			fmt.Print(report.MarkdownCompare(outs))
+		}
+	}
+}

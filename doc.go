@@ -1,0 +1,15 @@
+// Package dvsim is a full reproduction of "Distributed Embedded Systems
+// for Low Power: A Case Study" (Liu & Chou, IPPS 2004): a deterministic
+// discrete-event simulation of the paper's Itsy pocket-computer testbed —
+// StrongARM SA-1100 DVS, serial/PPP networking, lithium-ion batteries
+// with rate-capacity and recovery effects — together with the automatic
+// target recognition workload and the four distributed DVS techniques the
+// paper evaluates: DVS during I/O, partitioning, power-failure recovery,
+// and node rotation.
+//
+// The library lives under internal/ (sim, cpu, battery, serial, atr,
+// node, host, core, sched, report); executables under cmd/ (dvsim,
+// paperbench, calibrate, atr); runnable examples under examples/. The
+// benchmarks in this directory regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package dvsim

@@ -1,0 +1,86 @@
+// Bufferdvs: the buffer-based DVS of Im et al. [4] (paper §2) applied to
+// a multi-target ATR stream — the workload variant the paper mentions but
+// does not evaluate. Frames carry a varying number of targets, so
+// per-frame computation varies; buffering arrivals lets the processor run
+// near the average workload rate instead of the per-frame worst case,
+// which is quadratically cheaper in power.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dvsim/internal/atr"
+	"dvsim/internal/core"
+	"dvsim/internal/cpu"
+	"dvsim/internal/sched"
+)
+
+func main() {
+	p := core.DefaultParams()
+	prof := p.Profile
+
+	// Multi-target workload: detection scans the whole frame once, then
+	// each target pays the filter + distance blocks.
+	perFrameWork := func(targets int) float64 {
+		base := prof.BlockRefS[atr.BlockDetect]
+		per := prof.BlockRefS[atr.BlockFFT] + prof.BlockRefS[atr.BlockIFFT] + prof.BlockRefS[atr.BlockDistance]
+		return base + float64(targets)*per
+	}
+
+	// A deterministic bursty stream: 1–3 targets per frame.
+	rng := rand.New(rand.NewSource(42))
+	const frames = 200
+	works := make([]float64, frames)
+	var total float64
+	for i := range works {
+		works[i] = perFrameWork(1 + rng.Intn(3))
+		total += works[i]
+	}
+	fmt.Printf("multi-target stream: %d frames, work %.2f–%.2f s (mean %.2f) at 206.4 MHz\n\n",
+		frames, perFrameWork(1), perFrameWork(3), total/frames)
+
+	// The multi-target variant needs a longer frame delay: three targets
+	// cost 3.3 s of computation alone, so the source paces at D' = 4.6 s
+	// (double the paper's D). I/O still takes 1.2 s of each slot; the
+	// compute slots form a stream with one slot per frame.
+	commS := p.Link.TxTime(prof.InputKB) + p.Link.TxTime(0.1)
+	frameDelay := 2 * p.FrameDelayS
+	procBudget := frameDelay - commS
+	fmt.Printf("frame delay %.1f s, I/O %.2f s, compute slot %.2f s per frame\n\n",
+		frameDelay, commS, procBudget)
+
+	levels := make([]float64, len(cpu.Table))
+	for i, op := range cpu.Table {
+		levels[i] = op.FreqMHz / cpu.MaxPoint.FreqMHz
+	}
+
+	fmt.Printf("%8s %12s %14s %12s %14s\n", "buffer", "min speed", "clock (MHz)", "peak queue", "rel. power")
+	var basePower float64
+	for _, buffer := range []int{0, 1, 2, 4, 8} {
+		s := sched.BufferedMinSpeed(works, procBudget, buffer)
+		q, err := sched.Quantize([]sched.Segment{{Start: 0, End: 1, Speed: s}}, levels)
+		clock := "infeasible"
+		var power float64
+		if err == nil {
+			op, _ := cpu.NextAbove(q[0].Speed * cpu.MaxPoint.FreqMHz)
+			clock = fmt.Sprintf("%.1f", op.FreqMHz)
+			// Dynamic power ∝ f·V² at the chosen point, scaled by load.
+			power = op.FreqMHz * op.VoltageV * op.VoltageV
+		}
+		ok, peak := sched.SimulateBufferedFIFO(works, procBudget, buffer, s*(1+1e-9))
+		if !ok {
+			panic("infeasible speed from BufferedMinSpeed")
+		}
+		if buffer == 0 {
+			basePower = power
+		}
+		rel := "—"
+		if power > 0 && basePower > 0 {
+			rel = fmt.Sprintf("%.0f%%", power/basePower*100)
+		}
+		fmt.Printf("%8d %12.3f %14s %12d %14s\n", buffer, s, clock, peak, rel)
+	}
+	fmt.Println("\nbuffering trades a few frames of latency for a lower sustained clock —")
+	fmt.Println("the mechanism of Im et al. [4], quadratic in power by the V² argument.")
+}

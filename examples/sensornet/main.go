@@ -1,0 +1,43 @@
+// Sensornet: the paper contrasts its workload with sensor networks,
+// which "are 99% idle, perform very little computation and communication"
+// (§1). This example stretches the frame period from the paper's 2.3 s
+// toward sensor-network duty cycles and shows the contrast quantitatively:
+// as idle time dominates, every DVS technique's gain collapses and the
+// idle floor decides battery life.
+package main
+
+import (
+	"fmt"
+
+	"dvsim/internal/atr"
+	"dvsim/internal/core"
+	"dvsim/internal/cpu"
+)
+
+func main() {
+	base := core.DefaultParams()
+
+	fmt.Printf("%10s %10s %12s %12s %12s %10s\n",
+		"period", "duty", "T base (h)", "T DVS-IO (h)", "gain", "idle frac")
+	for _, d := range []float64{2.3, 4.6, 11.5, 23, 115, 230} {
+		p := base
+		p.FrameDelayS = d
+		// Both configurations idle at the lowest point (any sane duty-
+		// cycled system clocks down when idle); they differ only in the
+		// clock DURING serial transfers — isolating §5.2's technique.
+		stagesBase := []core.StageConfig{{Span: atr.FullSpan, Compute: cpu.MaxPoint, Comm: cpu.MaxPoint, Idle: cpu.MinPoint}}
+		stagesDVS := []core.StageConfig{{Span: atr.FullSpan, Compute: cpu.MaxPoint, Comm: cpu.MinPoint, Idle: cpu.MinPoint}}
+		ob := core.RunCustom("base", p, stagesBase, core.Options{})
+		od := core.RunCustom("dvs-io", p, stagesDVS, core.Options{})
+		busy := 2.3 // RECV+PROC+SEND at full clock
+		idleFrac := 1 - busy/d
+		gain := od.BatteryLifeH / ob.BatteryLifeH
+		fmt.Printf("%9.1fs %9.0f%% %12.2f %12.2f %11.2fx %9.0f%%\n",
+			d, busy/d*100, ob.BatteryLifeH, od.BatteryLifeH, gain, idleFrac*100)
+	}
+
+	fmt.Println("\nat the paper's 2.3 s period the node is 100% busy and DVS during I/O")
+	fmt.Println("buys 24%; at sensor-network duty cycles the battery drains at the idle")
+	fmt.Println("floor regardless, which is why the paper's problem — DVS under tight")
+	fmt.Println("timing with expensive I/O — is a different regime from sensor networks.")
+}

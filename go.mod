@@ -1,0 +1,3 @@
+module dvsim
+
+go 1.22

@@ -1,0 +1,230 @@
+package atr
+
+import (
+	"math"
+	"testing"
+)
+
+// pipelinePayloads runs the real pipeline on one frame and returns every
+// intermediate payload in wire order.
+func pipelinePayloads(t *testing.T) []any {
+	t.Helper()
+	p := NewPipeline()
+	frame, _ := NewScene(11).Frame(1)
+	out := []any{frame}
+	cur := any(frame)
+	for _, b := range Blocks {
+		cur = p.ApplyBlock(b, cur)
+		if cur == nil {
+			t.Fatal("pipeline lost the target")
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTripAllPayloads(t *testing.T) {
+	for _, payload := range pipelinePayloads(t) {
+		data, err := Encode(payload)
+		if err != nil {
+			t.Fatalf("encode %T: %v", payload, err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", payload, err)
+		}
+		switch orig := payload.(type) {
+		case *Image:
+			img := back.(*Image)
+			for i := range orig.Pix {
+				if math.Abs(img.Pix[i]-orig.Pix[i]) > 1.0/255 {
+					t.Fatalf("frame pixel %d differs", i)
+				}
+			}
+		case *Detection:
+			d := back.(*Detection)
+			if d.X != orig.X || d.Y != orig.Y {
+				t.Fatalf("detection coords: %+v vs %+v", d, orig)
+			}
+		case *specWithDet:
+			s := back.(*specWithDet)
+			if s.Spec.W != orig.Spec.W || s.Spec.H != orig.Spec.H {
+				t.Fatal("spectrum dims differ")
+			}
+			for i := range orig.Spec.Data {
+				if d := orig.Spec.Data[i] - s.Spec.Data[i]; math.Hypot(real(d), imag(d)) > 1e-5*(1+math.Hypot(real(orig.Spec.Data[i]), imag(orig.Spec.Data[i]))) {
+					t.Fatalf("spectrum bin %d lost precision", i)
+				}
+			}
+		case *Responses:
+			r := back.(*Responses)
+			if len(r.Resp) != len(orig.Resp) {
+				t.Fatal("responses count differs")
+			}
+			for i := range orig.Resp {
+				if r.Resp[i].Template != orig.Resp[i].Template || r.Resp[i].SizeIdx != orig.Resp[i].SizeIdx ||
+					r.Resp[i].PeakX != orig.Resp[i].PeakX || r.Resp[i].PeakY != orig.Resp[i].PeakY {
+					t.Fatalf("response %d differs", i)
+				}
+				if math.Abs(r.Resp[i].Peak-quantizeLike(orig.Resp[i].Peak)) > 1e-12 {
+					t.Fatalf("response %d peak lost beyond float32", i)
+				}
+			}
+		case *Result:
+			res := back.(*Result)
+			if res.Template != orig.Template || res.X != orig.X || res.Y != orig.Y {
+				t.Fatalf("result identity: %+v vs %+v", res, orig)
+			}
+			if math.Abs(res.DistanceM-quantizeLike(orig.DistanceM)) > 1e-9 {
+				t.Fatalf("result distance: %v vs %v", res.DistanceM, orig.DistanceM)
+			}
+		}
+	}
+}
+
+func TestEncodeNilAndErrors(t *testing.T) {
+	data, err := Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(data)
+	if err != nil || v != nil {
+		t.Fatalf("nil round trip: %v %v", v, err)
+	}
+	if _, err := Encode(42); err == nil {
+		t.Fatal("encoded an int")
+	}
+	if _, err := Encode(&Image{W: 3, H: 3, Pix: make([]float64, 9)}); err == nil {
+		t.Fatal("encoded a non-frame image as frame")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("decoded empty buffer")
+	}
+	if _, err := Decode([]byte{99}); err == nil {
+		t.Fatal("decoded unknown tag")
+	}
+	if _, err := Decode([]byte{tagFrame, 1, 2}); err == nil {
+		t.Fatal("decoded truncated frame")
+	}
+}
+
+func TestWireSizesNearPaperPayloads(t *testing.T) {
+	payloads := pipelinePayloads(t)
+	kb := make([]float64, len(payloads))
+	for i, p := range payloads {
+		var err error
+		kb[i], err = WireKB(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// frame, detection, spectrum, responses, result.
+	if math.Abs(kb[0]-10.101) > 1e-9 {
+		t.Errorf("frame %v KB, want 10.101 (paper 10.1)", kb[0])
+	}
+	if kb[1] < 0.6 || kb[1] > 0.65 {
+		t.Errorf("detection %v KB, want ≈0.61 (paper 0.6)", kb[1])
+	}
+	if kb[2] < 7 || kb[2] > 9 {
+		t.Errorf("spectrum %v KB, want ≈8.2 (paper 7.5)", kb[2])
+	}
+	if kb[4] > 0.1 {
+		t.Errorf("result %v KB, want < 0.1 (paper 0.1)", kb[4])
+	}
+}
+
+func TestApplySpanEqualsProcess(t *testing.T) {
+	p := NewPipeline()
+	frame, _ := NewScene(21).Frame(1)
+	whole := p.Process(frame)
+	staged := p.ApplySpan(FullSpan, frame)
+	if len(whole) == 0 {
+		if staged != nil {
+			t.Fatal("span found a target Process missed")
+		}
+		return
+	}
+	r, ok := staged.(*Result)
+	if !ok || *r != whole[0] {
+		t.Fatalf("span result %+v vs %+v", staged, whole[0])
+	}
+}
+
+func TestApplySpanPartialComposition(t *testing.T) {
+	p := NewPipeline()
+	frame, _ := NewScene(31).Frame(1)
+	first, second := SplitAfter(BlockDetect)
+	inter := p.ApplySpan(first, frame)
+	final := p.ApplySpan(second, inter)
+	direct := p.ApplySpan(FullSpan, frame)
+	if (final == nil) != (direct == nil) {
+		t.Fatal("partial composition disagrees about detection")
+	}
+	if final != nil && *(final.(*Result)) != *(direct.(*Result)) {
+		t.Fatalf("partial %+v vs direct %+v", final, direct)
+	}
+}
+
+func TestApplySpanThroughCodec(t *testing.T) {
+	// Distributed execution: serialize at every hop, like the real wire.
+	p := NewPipeline()
+	frame, _ := NewScene(41).Frame(1)
+	var cur any = frame
+	for _, b := range Blocks {
+		data, err := Encode(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = p.ApplyBlock(b, decoded)
+	}
+	direct := p.ApplySpan(FullSpan, frame)
+	if (cur == nil) != (direct == nil) {
+		t.Fatal("codec path disagrees about detection")
+	}
+	if cur == nil {
+		t.Skip("no target on this seed")
+	}
+	got := cur.(*Result)
+	want := direct.(*Result)
+	if got.Template != want.Template {
+		t.Fatalf("template %q vs %q through the wire", got.Template, want.Template)
+	}
+	// Distance may shift slightly through 8-bit ROI quantization.
+	if relErr := math.Abs(got.DistanceM-want.DistanceM) / want.DistanceM; relErr > 0.1 {
+		t.Fatalf("distance drifted %.1f%% through the wire", relErr*100)
+	}
+}
+
+func TestApplyBlockNilPassThrough(t *testing.T) {
+	p := NewPipeline()
+	for _, b := range Blocks {
+		if out := p.ApplyBlock(b, nil); out != nil {
+			t.Fatalf("block %v conjured data from nil", b)
+		}
+	}
+}
+
+func TestApplyBlockTypeMismatchPanics(t *testing.T) {
+	p := NewPipeline()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong payload type accepted")
+		}
+	}()
+	p.ApplyBlock(BlockFFT, &Image{W: 1, H: 1, Pix: []float64{0}})
+}
+
+func TestBlockInDescriptions(t *testing.T) {
+	for _, b := range Blocks {
+		if b.In() == "?" {
+			t.Errorf("block %v has no input description", b)
+		}
+	}
+	if Block(9).In() != "?" {
+		t.Error("unknown block input")
+	}
+}

@@ -1,0 +1,147 @@
+package atr
+
+import (
+	"math"
+	"sort"
+)
+
+// Target detection (block 1 of Fig 1): locate candidate targets in the
+// frame and extract a region of interest around each. Detection is
+// deliberately cheap — an energy scan over a background-subtracted frame —
+// leaving discrimination to the matched filter (blocks 2–3).
+
+// ROI dimensions: 24×25 8-bit pixels = 600 bytes, the paper's 0.6 KB
+// intermediate payload after target detection.
+const (
+	ROIW = 24
+	ROIH = 25
+	// ROIBytes is the wire size of one extracted region of interest.
+	ROIBytes = ROIW * ROIH
+)
+
+// Detection is one candidate target: an ROI and where it came from.
+type Detection struct {
+	// X, Y is the ROI's top-left corner in the frame.
+	X, Y int
+	// Score is the detection energy (mean excess intensity over
+	// background within the ROI).
+	Score float64
+	// ROI is the extracted patch, ROIW×ROIH.
+	ROI *Image
+}
+
+// Detector finds regions of interest in frames.
+type Detector struct {
+	// Threshold is the minimum detection energy; windows scoring below
+	// it are clutter.
+	Threshold float64
+	// MaxTargets bounds how many ROIs a frame may yield (the paper's
+	// experiments process one target per frame; the multi-target variant
+	// raises this).
+	MaxTargets int
+}
+
+// NewDetector returns a detector tuned for the synthetic scene generator.
+func NewDetector() *Detector {
+	return &Detector{Threshold: 0.04, MaxTargets: 1}
+}
+
+// Detect scans the frame and returns up to MaxTargets regions of
+// interest, strongest first.
+func (d *Detector) Detect(frame *Image) []Detection {
+	bg := frame.Mean()
+	w, h := frame.W, frame.H
+
+	// Integral image of excess intensity for O(1) window sums.
+	integ := make([]float64, (w+1)*(h+1))
+	for y := 0; y < h; y++ {
+		var rowSum float64
+		for x := 0; x < w; x++ {
+			v := frame.At(x, y) - bg
+			if v < 0 {
+				v = 0
+			}
+			rowSum += v
+			integ[(y+1)*(w+1)+(x+1)] = integ[y*(w+1)+(x+1)] + rowSum
+		}
+	}
+	winSum := func(x, y int) float64 {
+		x1, y1 := x+ROIW, y+ROIH
+		return integ[y1*(w+1)+x1] - integ[y*(w+1)+x1] - integ[y1*(w+1)+x] + integ[y*(w+1)+x]
+	}
+
+	type cand struct {
+		x, y  int
+		score float64
+	}
+	var cands []cand
+	area := float64(ROIW * ROIH)
+	for y := 0; y+ROIH <= h; y++ {
+		for x := 0; x+ROIW <= w; x++ {
+			s := winSum(x, y) / area
+			if s >= d.Threshold {
+				cands = append(cands, cand{x, y, s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].y != cands[j].y {
+			return cands[i].y < cands[j].y
+		}
+		return cands[i].x < cands[j].x
+	})
+
+	// Greedy non-maximum suppression: keep the strongest window, drop
+	// overlapping ones.
+	var out []Detection
+	for _, c := range cands {
+		if len(out) >= d.MaxTargets {
+			break
+		}
+		overlap := false
+		for _, o := range out {
+			if abs(c.x-o.X) < ROIW && abs(c.y-o.Y) < ROIH {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		out = append(out, Detection{
+			X: c.x, Y: c.y, Score: c.score,
+			ROI: frame.SubImage(c.x, c.y, ROIW, ROIH),
+		})
+	}
+	return out
+}
+
+// Centered returns a copy of the patch with its mean removed; matched
+// filtering uses zero-mean signals so flat background contributes nothing.
+func Centered(im *Image) []float64 {
+	m := im.Mean()
+	out := make([]float64, len(im.Pix))
+	for i, v := range im.Pix {
+		out[i] = v - m
+	}
+	return out
+}
+
+// Energy is the L2 norm of a patch, used to normalize filter responses.
+func Energy(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

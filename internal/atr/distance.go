@@ -1,0 +1,80 @@
+package atr
+
+// Distance computation (block 4 of Fig 1): pick the best-responding
+// template/scale pair and convert apparent size to range via the
+// pinhole-projection relation calibrated into each template.
+
+// Result is the final ATR output for one detected target: the payload
+// returned to the host (0.1 KB on the wire).
+type Result struct {
+	// Template is the name of the best-matching target signature.
+	Template string
+	// X, Y locate the target (ROI corner) in the frame.
+	X, Y int
+	// SizePx is the interpolated apparent size.
+	SizePx float64
+	// DistanceM is the estimated range to the target.
+	DistanceM float64
+	// Confidence is the winning normalized correlation peak.
+	Confidence float64
+}
+
+// ComputeDistance selects the strongest response and refines the apparent
+// size by parabolic interpolation over the scale ladder, then applies the
+// template's size-to-range calibration.
+func ComputeDistance(bank *FilterBank, det Detection, responses []Response) Result {
+	if len(responses) == 0 {
+		return Result{Template: "none", X: det.X, Y: det.Y}
+	}
+	best := 0
+	for i, r := range responses {
+		if r.Peak > responses[best].Peak {
+			best = i
+		}
+	}
+	win := responses[best]
+	tpl := bank.Templates[win.Template]
+
+	// Parabolic interpolation of the peak across neighboring scales of
+	// the same template refines the integer scale ladder.
+	size := float64(bank.Sizes[win.SizeIdx])
+	lo, hi := win.SizeIdx-1, win.SizeIdx+1
+	if lo >= 0 && hi < len(bank.Sizes) {
+		iLo := indexOf(responses, win.Template, lo)
+		iHi := indexOf(responses, win.Template, hi)
+		if iLo >= 0 && iHi >= 0 {
+			yl, yc, yh := responses[iLo].Peak, win.Peak, responses[iHi].Peak
+			den := yl - 2*yc + yh
+			if den < 0 { // proper maximum
+				frac := 0.5 * (yl - yh) / den
+				if frac > -1 && frac < 1 {
+					// Interpolate within the (non-uniform) ladder.
+					sl, sc, sh := float64(bank.Sizes[lo]), size, float64(bank.Sizes[hi])
+					if frac < 0 {
+						size = sc + frac*(sc-sl)
+					} else {
+						size = sc + frac*(sh-sc)
+					}
+				}
+			}
+		}
+	}
+
+	return Result{
+		Template:   tpl.Name,
+		X:          det.X,
+		Y:          det.Y,
+		SizePx:     size,
+		DistanceM:  DistanceForSize(tpl, size),
+		Confidence: win.Peak,
+	}
+}
+
+func indexOf(responses []Response, template, sizeIdx int) int {
+	for i, r := range responses {
+		if r.Template == template && r.SizeIdx == sizeIdx {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,111 @@
+package atr
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Matched filtering (blocks 2–3 of Fig 1): the extracted ROI is taken to
+// the frequency domain (FFT block), multiplied by the conjugate spectrum
+// of each template at each candidate scale, and brought back (IFFT block).
+// The peak of each response surface measures how well that template/scale
+// explains the ROI.
+
+// FilterBank holds precomputed template spectra over a range of apparent
+// sizes. Building the bank is a one-time cost; the per-frame work is one
+// forward FFT plus one multiply+IFFT per bank entry, which is what gives
+// the FFT and IFFT blocks their substantial share of the profile.
+type FilterBank struct {
+	Templates []Template
+	Sizes     []int
+	// W, H is the padded transform size (NextPow2 of the ROI).
+	W, H int
+	// spectra[t][s] is the conjugated, energy-normalized spectrum of
+	// template t at size Sizes[s].
+	spectra [][][]complex128
+}
+
+// DefaultSizes is the scale ladder searched by the filter: apparent
+// target widths in pixels, within the ROI.
+func DefaultSizes() []int { return []int{5, 6, 8, 10, 12, 14, 16, 19, 22} }
+
+// NewFilterBank precomputes spectra for the templates at the given sizes.
+func NewFilterBank(templates []Template, sizes []int) *FilterBank {
+	fb := &FilterBank{
+		Templates: templates,
+		Sizes:     sizes,
+		W:         NextPow2(ROIW),
+		H:         NextPow2(ROIH),
+	}
+	fb.spectra = make([][][]complex128, len(templates))
+	for ti, tpl := range templates {
+		fb.spectra[ti] = make([][]complex128, len(sizes))
+		for si, size := range sizes {
+			scaled := tpl.Img.Resize(size, size)
+			cen := Centered(scaled)
+			e := Energy(cen)
+			if e == 0 {
+				e = 1
+			}
+			data := make([]complex128, fb.W*fb.H)
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					data[y*fb.W+x] = complex(cen[y*size+x]/e, 0)
+				}
+			}
+			FFT2D(data, fb.W, fb.H)
+			for i := range data {
+				data[i] = cmplx.Conj(data[i])
+			}
+			fb.spectra[ti][si] = data
+		}
+	}
+	return fb
+}
+
+// ROISpectrum is the FFT block: transform a detection's ROI. The result
+// is the payload shipped to the node holding the IFFT block when the
+// pipeline is distributed.
+func (fb *FilterBank) ROISpectrum(roi *Image) Spectrum {
+	return NewSpectrum(Centered(roi), roi.W, roi.H)
+}
+
+// Response is the matched-filter output for one template/scale pair.
+type Response struct {
+	Template int // index into the bank's template list
+	SizeIdx  int // index into Sizes
+	Peak     float64
+	PeakX    int
+	PeakY    int
+}
+
+// Correlate is the IFFT block: multiply the ROI spectrum by every
+// conjugated template spectrum and inverse-transform, recording each
+// response peak. The returned slice is ordered by (template, size).
+func (fb *FilterBank) Correlate(spec Spectrum) []Response {
+	if spec.W != fb.W || spec.H != fb.H {
+		panic("atr: spectrum size does not match filter bank")
+	}
+	out := make([]Response, 0, len(fb.Templates)*len(fb.Sizes))
+	work := make([]complex128, len(spec.Data))
+	for ti := range fb.Templates {
+		for si := range fb.Sizes {
+			tplSpec := fb.spectra[ti][si]
+			for i := range work {
+				work[i] = spec.Data[i] * tplSpec[i]
+			}
+			IFFT2D(work, fb.W, fb.H)
+			r := Response{Template: ti, SizeIdx: si, Peak: math.Inf(-1)}
+			for y := 0; y < fb.H; y++ {
+				for x := 0; x < fb.W; x++ {
+					v := real(work[y*fb.W+x])
+					if v > r.Peak {
+						r.Peak, r.PeakX, r.PeakY = v, x, y
+					}
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}

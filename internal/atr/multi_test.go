@@ -1,0 +1,114 @@
+package atr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApplySpanMultiFullMatchesProcess(t *testing.T) {
+	p := NewPipeline()
+	p.Detector.MaxTargets = 3
+	scene := NewScene(13)
+	for i := 0; i < 10; i++ {
+		frame, _ := scene.Frame(2)
+		whole := p.Process(frame)
+		mp := p.ApplySpanMulti(FullSpan, frame, 3)
+		if mp == nil {
+			if len(whole) != 0 {
+				t.Fatalf("frame %d: multi found nothing, Process found %d", i, len(whole))
+			}
+			continue
+		}
+		got := mp.(*MultiPayload).Results()
+		if len(got) != len(whole) {
+			t.Fatalf("frame %d: %d vs %d results", i, len(got), len(whole))
+		}
+		for j := range got {
+			if got[j] != whole[j] {
+				t.Fatalf("frame %d result %d: %+v vs %+v", i, j, got[j], whole[j])
+			}
+		}
+	}
+}
+
+func TestApplySpanMultiTwoStageComposition(t *testing.T) {
+	p := NewPipeline()
+	scene := NewScene(29)
+	frame, _ := scene.Frame(3)
+	first, second := SplitAfter(BlockDetect)
+	inter := p.ApplySpanMulti(first, frame, 3)
+	if inter == nil {
+		t.Skip("no detections on this seed")
+	}
+	final := p.ApplySpanMulti(second, inter, 3)
+	direct := p.ApplySpanMulti(FullSpan, frame, 3)
+	got := final.(*MultiPayload).Results()
+	want := direct.(*MultiPayload).Results()
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d results", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func TestApplySpanMultiNilAndTypeChecks(t *testing.T) {
+	p := NewPipeline()
+	if p.ApplySpanMulti(FullSpan, nil, 2) != nil {
+		t.Error("nil input should pass through")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong type accepted")
+		}
+	}()
+	p.ApplySpanMulti(FullSpan, 42, 2)
+}
+
+func TestMultiPayloadWireBytes(t *testing.T) {
+	p := NewPipeline()
+	frame, _ := NewScene(31).Frame(2)
+	mp := p.ApplySpanMulti(Span{First: BlockDetect, Last: BlockDetect}, frame, 2)
+	if mp == nil {
+		t.Skip("no detections")
+	}
+	n, err := mp.(*MultiPayload).WireBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := len(mp.(*MultiPayload).Items)
+	// Each detection serializes to ~610 B.
+	if n < items*600 || n > items*700+10 {
+		t.Fatalf("%d items in %d bytes", items, n)
+	}
+}
+
+func TestMultiRefSecondsScalesPerTarget(t *testing.T) {
+	p := Default()
+	// Zero targets: detection still scans.
+	if got := p.MultiRefSeconds(FullSpan, 0); math.Abs(got-0.18) > 1e-12 {
+		t.Errorf("0 targets: %v", got)
+	}
+	// One target matches the isolated block sum.
+	if got := p.MultiRefSeconds(FullSpan, 1); math.Abs(got-1.22) > 1e-12 {
+		t.Errorf("1 target: %v", got)
+	}
+	// Three targets: detect once, filter thrice.
+	want := 0.18 + 3*(0.19+0.32+0.53)
+	if got := p.MultiRefSeconds(FullSpan, 3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("3 targets: %v, want %v", got, want)
+	}
+	// Span without detection is purely per-target.
+	_, second := SplitAfter(BlockDetect)
+	if got := p.MultiRefSeconds(second, 2); math.Abs(got-2*1.04) > 1e-12 {
+		t.Errorf("tail span ×2: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count accepted")
+		}
+	}()
+	p.MultiRefSeconds(FullSpan, -1)
+}

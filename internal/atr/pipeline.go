@@ -1,0 +1,58 @@
+package atr
+
+import "fmt"
+
+// Pipeline composes the four functional blocks into the runnable ATR
+// algorithm (Fig 1). It can execute end-to-end on one node (the baseline
+// configuration) or stage-by-stage with serializable intermediates (the
+// distributed configurations); the intermediate types — Detection ROIs,
+// Spectrum, []Response — are the payloads the paper's partitioning
+// schemes put on the wire.
+type Pipeline struct {
+	Detector *Detector
+	Bank     *FilterBank
+}
+
+// NewPipeline returns a pipeline over the default templates and scale
+// ladder.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		Detector: NewDetector(),
+		Bank:     NewFilterBank(DefaultTemplates(), DefaultSizes()),
+	}
+}
+
+// Stage1Detect runs target detection on a frame.
+func (p *Pipeline) Stage1Detect(frame *Image) []Detection {
+	return p.Detector.Detect(frame)
+}
+
+// Stage2FFT transforms one detection's ROI.
+func (p *Pipeline) Stage2FFT(det Detection) Spectrum {
+	return p.Bank.ROISpectrum(det.ROI)
+}
+
+// Stage3IFFT matched-filters a spectrum against the bank.
+func (p *Pipeline) Stage3IFFT(spec Spectrum) []Response {
+	return p.Bank.Correlate(spec)
+}
+
+// Stage4Distance produces the final result for one detection.
+func (p *Pipeline) Stage4Distance(det Detection, responses []Response) Result {
+	return ComputeDistance(p.Bank, det, responses)
+}
+
+// Process runs the whole algorithm on one frame, returning one result per
+// detected target (the paper's experiments use one target per frame).
+func (p *Pipeline) Process(frame *Image) []Result {
+	if frame.W != FrameW || frame.H != FrameH {
+		panic(fmt.Sprintf("atr: frame is %dx%d, want %dx%d", frame.W, frame.H, FrameW, FrameH))
+	}
+	var out []Result
+	for _, det := range p.Stage1Detect(frame) {
+		spec := p.Stage2FFT(det)
+		resp := p.Stage3IFFT(spec)
+		out = append(out, p.Stage4Distance(det, resp))
+	}
+	return out
+}

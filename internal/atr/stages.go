@@ -1,0 +1,104 @@
+package atr
+
+import "fmt"
+
+// Stage composition: execute any contiguous block span on typed payloads,
+// so a pipeline node can run exactly its share of the real algorithm on
+// the data it received and hand a typed intermediate to its successor.
+// The payload types mirror the paper's wire payloads:
+//
+//	frame  (*Image)      — 10.1 KB — input to Target Detection
+//	ROI    (*Detection)  —  0.6 KB — output of Target Detection
+//	spec   (*Spectrum)   —  7.5 KB — output of FFT
+//	resp   (*Responses)  —  7.5 KB — output of IFFT
+//	result (*Result)     —  0.1 KB — output of Compute Distance
+//
+// The experiments process one target per frame (§3); a frame with no
+// detectable target produces a nil intermediate that later blocks pass
+// through unchanged, modelling an empty result.
+
+// Responses is the IFFT block's output: the matched-filter peaks plus the
+// detection they refer to (needed by the distance block for placement).
+type Responses struct {
+	Det  Detection
+	Resp []Response
+}
+
+// In returns the payload type block b consumes.
+func (b Block) In() string {
+	switch b {
+	case BlockDetect:
+		return "*atr.Image"
+	case BlockFFT:
+		return "*atr.Detection"
+	case BlockIFFT:
+		return "*atr.Spectrum (with Detection)"
+	case BlockDistance:
+		return "*atr.Responses"
+	default:
+		return "?"
+	}
+}
+
+// ApplyBlock runs one functional block on its typed input.
+func (p *Pipeline) ApplyBlock(b Block, in any) any {
+	if in == nil {
+		return nil // no target: pass emptiness through
+	}
+	switch b {
+	case BlockDetect:
+		frame, ok := in.(*Image)
+		if !ok {
+			panic(typeErr(b, in))
+		}
+		dets := p.Stage1Detect(frame)
+		if len(dets) == 0 {
+			return nil
+		}
+		d := dets[0]
+		return &d
+	case BlockFFT:
+		det, ok := in.(*Detection)
+		if !ok {
+			panic(typeErr(b, in))
+		}
+		spec := p.Stage2FFT(*det)
+		return &specWithDet{Spec: spec, Det: *det}
+	case BlockIFFT:
+		sd, ok := in.(*specWithDet)
+		if !ok {
+			panic(typeErr(b, in))
+		}
+		return &Responses{Det: sd.Det, Resp: p.Stage3IFFT(sd.Spec)}
+	case BlockDistance:
+		rs, ok := in.(*Responses)
+		if !ok {
+			panic(typeErr(b, in))
+		}
+		r := p.Stage4Distance(rs.Det, rs.Resp)
+		return &r
+	default:
+		panic(fmt.Sprintf("atr: unknown block %v", b))
+	}
+}
+
+// specWithDet carries the spectrum together with its source detection
+// (the distance block needs the location and the filter bank needs the
+// spectrum; on the wire they travel together as the 7.5 KB payload).
+type specWithDet struct {
+	Spec Spectrum
+	Det  Detection
+}
+
+// ApplySpan runs all blocks of the span in order.
+func (p *Pipeline) ApplySpan(s Span, in any) any {
+	out := in
+	for b := s.First; b <= s.Last; b++ {
+		out = p.ApplyBlock(b, out)
+	}
+	return out
+}
+
+func typeErr(b Block, in any) string {
+	return fmt.Sprintf("atr: block %v expects %s, got %T", b, b.In(), in)
+}

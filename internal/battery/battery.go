@@ -1,0 +1,376 @@
+// Package battery models the Itsy's 4 V lithium-ion battery pack.
+//
+// The paper's conclusions hinge on two battery nonlinearities it observes
+// on real hardware:
+//
+//   - the rate-capacity effect (§6.1): sustained high discharge current
+//     exhausts the pack long before its nominal capacity is delivered —
+//     experiment (0A) at 130 mA delivers roughly half the charge that
+//     (0B) at 65 mA does;
+//   - the recovery effect (§6.3): dropping to a low current lets the pack
+//     "rest" and recover capacity — experiment (1A) regains 24% battery
+//     life purely by lowering the current during I/O phases.
+//
+// Three models are provided. Ideal is a plain coulomb counter with
+// neither effect (the assumption the paper criticizes). Peukert adds the
+// rate-capacity effect via a power law. KiBaM — the kinetic battery model
+// of Manwell & McGowan — has both effects: charge lives in an available
+// well (directly drainable) and a bound well that replenishes the
+// available well through a rate-limited "diffusion" flow, so heavy loads
+// starve the available well (rate capacity) while light loads let it
+// refill (recovery). KiBaM is a linear system, so an optional Peukert-like
+// exponent on the well draw (Exponent) adds the mild current nonlinearity
+// needed to match all four of the paper's single-node anchor lifetimes at
+// once; see cmd/calibrate.
+//
+// Units: current in mA, time in seconds, charge in mA·s (mAh exported
+// where noted).
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a battery that can be drained by a piecewise-constant current
+// profile. Implementations are not safe for concurrent use; each simulated
+// node owns its battery.
+type Model interface {
+	// Drain draws current mA for up to dt seconds. It returns the time
+	// actually sustained: a value < dt means the battery became empty at
+	// that offset and the remainder of the interval was not powered.
+	Drain(currentMA, dt float64) float64
+	// TimeToEmpty predicts, without changing state, how long the battery
+	// would sustain a constant draw of currentMA from its present state.
+	// It returns +Inf when the draw is sustainable indefinitely.
+	TimeToEmpty(currentMA float64) float64
+	// Empty reports whether the battery is exhausted.
+	Empty() bool
+	// StateOfCharge is the remaining fraction of total charge, in [0, 1].
+	StateOfCharge() float64
+	// DeliveredMAh is the total charge delivered since the last Reset.
+	DeliveredMAh() float64
+	// Reset restores a full, rested battery.
+	Reset()
+	// Name identifies the model for reports.
+	Name() string
+}
+
+// mAhToMAs converts milliamp-hours to milliamp-seconds.
+const mAhToMAs = 3600.0
+
+// Ideal is a linear coulomb counter: capacity is delivered in full at any
+// rate, with no recovery. It represents the "battery = energy bucket"
+// assumption of CPU-centric DVS studies.
+type Ideal struct {
+	CapacityMAh float64
+	usedMAs     float64
+}
+
+// NewIdeal returns a full ideal battery of the given capacity.
+func NewIdeal(capacityMAh float64) *Ideal {
+	if capacityMAh <= 0 {
+		panic(fmt.Sprintf("battery: capacity %v mAh", capacityMAh))
+	}
+	return &Ideal{CapacityMAh: capacityMAh}
+}
+
+// Name implements Model.
+func (b *Ideal) Name() string { return "ideal" }
+
+// Drain implements Model.
+func (b *Ideal) Drain(currentMA, dt float64) float64 {
+	checkDrainArgs(currentMA, dt)
+	if b.Empty() {
+		return 0
+	}
+	if currentMA == 0 {
+		return dt
+	}
+	remain := b.CapacityMAh*mAhToMAs - b.usedMAs
+	tMax := remain / currentMA
+	if tMax >= dt {
+		b.usedMAs += currentMA * dt
+		return dt
+	}
+	b.usedMAs = b.CapacityMAh * mAhToMAs
+	return tMax
+}
+
+// TimeToEmpty implements Model.
+func (b *Ideal) TimeToEmpty(currentMA float64) float64 {
+	if currentMA <= 0 {
+		return math.Inf(1)
+	}
+	return (b.CapacityMAh*mAhToMAs - b.usedMAs) / currentMA
+}
+
+// Empty implements Model.
+func (b *Ideal) Empty() bool { return b.usedMAs >= b.CapacityMAh*mAhToMAs-1e-9 }
+
+// StateOfCharge implements Model.
+func (b *Ideal) StateOfCharge() float64 {
+	return clamp01(1 - b.usedMAs/(b.CapacityMAh*mAhToMAs))
+}
+
+// DeliveredMAh implements Model.
+func (b *Ideal) DeliveredMAh() float64 { return b.usedMAs / mAhToMAs }
+
+// Reset implements Model.
+func (b *Ideal) Reset() { b.usedMAs = 0 }
+
+// Peukert drains capacity at the effective rate I·(I/RefMA)^(Exponent-1):
+// at the reference current the full capacity is delivered; higher currents
+// deliver less (rate-capacity effect). There is no recovery.
+type Peukert struct {
+	CapacityMAh float64 // capacity delivered at RefMA
+	RefMA       float64 // reference (rated) discharge current
+	Exponent    float64 // Peukert exponent, ≥ 1; 1 degenerates to Ideal
+
+	usedMAs      float64
+	deliveredMAs float64
+}
+
+// NewPeukert returns a full Peukert battery.
+func NewPeukert(capacityMAh, refMA, exponent float64) *Peukert {
+	if capacityMAh <= 0 || refMA <= 0 || exponent < 1 {
+		panic(fmt.Sprintf("battery: bad Peukert params C=%v ref=%v p=%v", capacityMAh, refMA, exponent))
+	}
+	return &Peukert{CapacityMAh: capacityMAh, RefMA: refMA, Exponent: exponent}
+}
+
+// Name implements Model.
+func (b *Peukert) Name() string { return "peukert" }
+
+// rate is the effective capacity consumption rate for draw I.
+func (b *Peukert) rate(currentMA float64) float64 {
+	if currentMA <= 0 {
+		return 0
+	}
+	return currentMA * math.Pow(currentMA/b.RefMA, b.Exponent-1)
+}
+
+// Drain implements Model.
+func (b *Peukert) Drain(currentMA, dt float64) float64 {
+	checkDrainArgs(currentMA, dt)
+	if b.Empty() {
+		return 0
+	}
+	r := b.rate(currentMA)
+	if r == 0 {
+		return dt
+	}
+	remain := b.CapacityMAh*mAhToMAs - b.usedMAs
+	tMax := remain / r
+	if tMax >= dt {
+		b.usedMAs += r * dt
+		b.deliveredMAs += currentMA * dt
+		return dt
+	}
+	b.usedMAs = b.CapacityMAh * mAhToMAs
+	b.deliveredMAs += currentMA * tMax
+	return tMax
+}
+
+// TimeToEmpty implements Model.
+func (b *Peukert) TimeToEmpty(currentMA float64) float64 {
+	r := b.rate(currentMA)
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return (b.CapacityMAh*mAhToMAs - b.usedMAs) / r
+}
+
+// Empty implements Model.
+func (b *Peukert) Empty() bool { return b.usedMAs >= b.CapacityMAh*mAhToMAs-1e-9 }
+
+// StateOfCharge implements Model.
+func (b *Peukert) StateOfCharge() float64 {
+	return clamp01(1 - b.usedMAs/(b.CapacityMAh*mAhToMAs))
+}
+
+// DeliveredMAh implements Model.
+func (b *Peukert) DeliveredMAh() float64 { return b.deliveredMAs / mAhToMAs }
+
+// Reset implements Model.
+func (b *Peukert) Reset() { b.usedMAs, b.deliveredMAs = 0, 0 }
+
+// KiBaM is the kinetic battery model. Total charge y = y1 + y2 is split
+// between an available well y1 = c·h1 (fraction C of the capacity) and a
+// bound well y2 = (1−c)·h2. Load is drawn from the available well only;
+// charge flows from bound to available at rate k'·(h2 − h1). The battery
+// is empty when the available well empties (h1 = 0), which can happen long
+// before total charge runs out — and the available well refills during
+// light load, which is the recovery effect.
+//
+// With δ = h2 − h1 and k” = k'/(c(1−c)), a constant draw I admits the
+// closed form used throughout:
+//
+//	δ(t)  = δ∞ + (δ0 − δ∞)·e^(−k''t),  δ∞ = Ieff/(c·k'')
+//	y(t)  = y0 − Ieff·t
+//	h1(t) = y(t) − (1−c)·δ(t);  empty ⇔ h1 ≤ 0
+//
+// Ieff = I·(I/RefMA)^Exponent is the (optionally) Peukert-adjusted well
+// draw; Exponent = 0 gives the classical linear KiBaM.
+type KiBaM struct {
+	CapacityMAh float64 // total charge in both wells when full
+	C           float64 // available-well fraction, in (0, 1)
+	Kpp         float64 // k'' diffusion rate constant, 1/s
+	RefMA       float64 // reference current for Exponent ≠ 0
+	Exponent    float64 // extra power-law on the well draw (0 = linear)
+
+	y            float64 // total remaining charge, mA·s
+	delta        float64 // h2 − h1, mA·s
+	deliveredMAs float64
+	empty        bool
+}
+
+// NewKiBaM returns a full, rested KiBaM battery.
+func NewKiBaM(capacityMAh, c, kpp float64) *KiBaM {
+	if capacityMAh <= 0 || c <= 0 || c >= 1 || kpp <= 0 {
+		panic(fmt.Sprintf("battery: bad KiBaM params C=%v c=%v k''=%v", capacityMAh, c, kpp))
+	}
+	b := &KiBaM{CapacityMAh: capacityMAh, C: c, Kpp: kpp, RefMA: 1}
+	b.Reset()
+	return b
+}
+
+// Name implements Model.
+func (b *KiBaM) Name() string {
+	if b.Exponent != 0 {
+		return "kibam+peukert"
+	}
+	return "kibam"
+}
+
+// ieff is the effective well draw for external current I.
+func (b *KiBaM) ieff(currentMA float64) float64 {
+	if currentMA <= 0 {
+		return 0
+	}
+	if b.Exponent == 0 {
+		return currentMA
+	}
+	return currentMA * math.Pow(currentMA/b.RefMA, b.Exponent)
+}
+
+// h1At evaluates the available-well head at offset t under constant
+// effective draw ieff from state (y0, δ0).
+func (b *KiBaM) h1At(ieff, t float64) float64 {
+	dinf := ieff / (b.C * b.Kpp)
+	d := dinf + (b.delta-dinf)*math.Exp(-b.Kpp*t)
+	return b.y - ieff*t - (1-b.C)*d
+}
+
+// advance moves the state forward t seconds under constant effective
+// draw, crediting delivered charge for external current I.
+func (b *KiBaM) advance(ieff, currentMA, t float64) {
+	dinf := ieff / (b.C * b.Kpp)
+	b.delta = dinf + (b.delta-dinf)*math.Exp(-b.Kpp*t)
+	b.y -= ieff * t
+	b.deliveredMAs += currentMA * t
+}
+
+// Drain implements Model.
+func (b *KiBaM) Drain(currentMA, dt float64) float64 {
+	checkDrainArgs(currentMA, dt)
+	if b.empty {
+		return 0
+	}
+	ieff := b.ieff(currentMA)
+	if b.h1At(ieff, dt) > 0 {
+		b.advance(ieff, currentMA, dt)
+		return dt
+	}
+	// The available well empties within this interval. h1(t) is positive
+	// exactly on [0, t*): it may rise first (recovery) but once it
+	// crosses zero it stays non-positive under constant draw, so
+	// bisection on the sign of h1 converges to t*.
+	t := bisectFirstNonPositive(func(t float64) float64 { return b.h1At(ieff, t) }, 0, dt)
+	b.advance(ieff, currentMA, t)
+	b.empty = true
+	return t
+}
+
+// TimeToEmpty implements Model.
+func (b *KiBaM) TimeToEmpty(currentMA float64) float64 {
+	if b.empty {
+		return 0
+	}
+	ieff := b.ieff(currentMA)
+	if ieff <= 0 {
+		return math.Inf(1) // resting only recovers; never empties
+	}
+	// Upper bound: total charge over draw rate (h1 ≤ y always, and
+	// y(t) = y0 − ieff·t hits zero at y0/ieff with δ(t) > 0 for t > 0).
+	hi := b.y / ieff
+	if b.h1At(ieff, hi) > 0 {
+		// Numerical corner: δ≈0 keeps h1 barely positive; nudge out.
+		hi *= 1 + 1e-9
+		if b.h1At(ieff, hi) > 0 {
+			return hi
+		}
+	}
+	return bisectFirstNonPositive(func(t float64) float64 { return b.h1At(ieff, t) }, 0, hi)
+}
+
+// Empty implements Model.
+func (b *KiBaM) Empty() bool { return b.empty }
+
+// StateOfCharge implements Model. It reports total charge (both wells);
+// AvailableFraction reports the directly usable head.
+func (b *KiBaM) StateOfCharge() float64 {
+	return clamp01(b.y / (b.CapacityMAh * mAhToMAs))
+}
+
+// AvailableFraction is the available-well head h1 relative to a full
+// battery: the immediately usable share of charge, in [0, 1].
+func (b *KiBaM) AvailableFraction() float64 {
+	h1 := b.y - (1-b.C)*b.delta
+	return clamp01(h1 / (b.CapacityMAh * mAhToMAs))
+}
+
+// DeliveredMAh implements Model.
+func (b *KiBaM) DeliveredMAh() float64 { return b.deliveredMAs / mAhToMAs }
+
+// Reset implements Model.
+func (b *KiBaM) Reset() {
+	b.y = b.CapacityMAh * mAhToMAs
+	b.delta = 0
+	b.deliveredMAs = 0
+	b.empty = false
+}
+
+// bisectFirstNonPositive finds the boundary t* in [lo, hi] where f, which
+// is positive on [lo, t*) and non-positive at hi, first reaches zero.
+// f(lo) is assumed positive (the caller checked the battery is not empty).
+func bisectFirstNonPositive(f func(float64) float64, lo, hi float64) float64 {
+	for i := 0; i < 200 && hi-lo > 1e-9*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+func checkDrainArgs(currentMA, dt float64) {
+	if currentMA < 0 {
+		panic(fmt.Sprintf("battery: negative current %v mA (charging unsupported)", currentMA))
+	}
+	if dt < 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("battery: bad duration %v", dt))
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

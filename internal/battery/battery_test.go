@@ -1,0 +1,273 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdealDeliversFullCapacityAtAnyRate(t *testing.T) {
+	for _, i := range []float64{10, 65, 130, 500} {
+		b := NewIdeal(1000)
+		life := b.TimeToEmpty(i)
+		want := 1000 * 3600 / i
+		if math.Abs(life-want) > 1e-6 {
+			t.Errorf("TimeToEmpty(%v) = %v, want %v", i, life, want)
+		}
+		got := b.Drain(i, life+1)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Drain(%v) sustained %v, want %v", i, got, want)
+		}
+		if !b.Empty() {
+			t.Errorf("not empty after full drain at %v mA", i)
+		}
+		if math.Abs(b.DeliveredMAh()-1000) > 1e-6 {
+			t.Errorf("delivered %v mAh, want 1000", b.DeliveredMAh())
+		}
+	}
+}
+
+func TestIdealPartialDrainAndSoC(t *testing.T) {
+	b := NewIdeal(100)
+	b.Drain(100, 1800) // half an hour at 100 mA = 50 mAh
+	if soc := b.StateOfCharge(); math.Abs(soc-0.5) > 1e-9 {
+		t.Errorf("SoC = %v, want 0.5", soc)
+	}
+	if b.Empty() {
+		t.Error("empty at half charge")
+	}
+	b.Reset()
+	if b.StateOfCharge() != 1 || b.DeliveredMAh() != 0 {
+		t.Error("Reset did not restore full charge")
+	}
+}
+
+func TestIdealZeroCurrentLastsForever(t *testing.T) {
+	b := NewIdeal(100)
+	if !math.IsInf(b.TimeToEmpty(0), 1) {
+		t.Error("zero draw should last forever")
+	}
+	if got := b.Drain(0, 1e9); got != 1e9 {
+		t.Errorf("Drain(0) sustained %v", got)
+	}
+}
+
+func TestPeukertRateCapacity(t *testing.T) {
+	// p = 2: doubling the current quarters the lifetime (halves capacity).
+	b := NewPeukert(1000, 100, 2)
+	t100 := b.TimeToEmpty(100)
+	t200 := b.TimeToEmpty(200)
+	if math.Abs(t100/t200-4) > 1e-9 {
+		t.Errorf("lifetime ratio %v, want 4", t100/t200)
+	}
+	// At the reference current the full capacity is delivered.
+	if math.Abs(t100-1000*3600/100) > 1e-6 {
+		t.Errorf("reference lifetime %v", t100)
+	}
+}
+
+func TestPeukertBelowReferenceDeliversMore(t *testing.T) {
+	b := NewPeukert(1000, 100, 1.2)
+	life := b.TimeToEmpty(50)
+	b.Drain(50, life+1)
+	if b.DeliveredMAh() <= 1000 {
+		t.Errorf("delivered %v mAh at half reference current, want > 1000", b.DeliveredMAh())
+	}
+}
+
+func TestPeukertExponentOneIsIdeal(t *testing.T) {
+	p := NewPeukert(500, 100, 1)
+	i := NewIdeal(500)
+	for _, cur := range []float64{20, 100, 300} {
+		if math.Abs(p.TimeToEmpty(cur)-i.TimeToEmpty(cur)) > 1e-6 {
+			t.Errorf("p=1 differs from ideal at %v mA", cur)
+		}
+	}
+}
+
+func TestKiBaMRateCapacityEffect(t *testing.T) {
+	b := NewKiBaM(1000, 0.1, 1e-3)
+	lifeHi := b.TimeToEmpty(130)
+	b.Reset()
+	lifeLo := b.TimeToEmpty(65)
+	// Delivered charge at the low rate must exceed that at the high rate.
+	dHi := 130 * lifeHi
+	dLo := 65 * lifeLo
+	if dLo <= dHi {
+		t.Errorf("delivered %v at 65 mA ≤ %v at 130 mA; rate-capacity effect missing", dLo, dHi)
+	}
+}
+
+func TestKiBaMRecoveryEffect(t *testing.T) {
+	// Drain hard, rest, drain again: the rest must extend total delivery
+	// relative to continuous drain.
+	mk := func() *KiBaM { return NewKiBaM(100, 0.2, 1e-3) }
+
+	cont := mk()
+	contLife := Lifetime(cont, []Segment{{CurrentMA: 120, Dt: 10}})
+
+	rest := mk()
+	restLife := Lifetime(rest, []Segment{{CurrentMA: 120, Dt: 10}, {CurrentMA: 0, Dt: 10}})
+	activeTime := restLife / 2 // half of each cycle is rest
+
+	if activeTime <= contLife {
+		t.Errorf("active time with rest %v ≤ continuous %v; recovery effect missing", activeTime, contLife)
+	}
+	// And the rested battery must deliver more charge in total.
+	if rest.DeliveredMAh() <= cont.DeliveredMAh() {
+		t.Errorf("rested delivered %v ≤ continuous %v", rest.DeliveredMAh(), cont.DeliveredMAh())
+	}
+}
+
+func TestKiBaMZeroCurrentOnlyRecovers(t *testing.T) {
+	b := NewKiBaM(100, 0.3, 1e-3)
+	b.Drain(200, 600)
+	avail0 := b.AvailableFraction()
+	if !math.IsInf(b.TimeToEmpty(0), 1) {
+		t.Fatal("resting battery should never empty")
+	}
+	b.Drain(0, 3600)
+	if b.AvailableFraction() <= avail0 {
+		t.Error("available charge did not recover at rest")
+	}
+	if b.Empty() {
+		t.Error("battery emptied while resting")
+	}
+}
+
+func TestKiBaMDrainReturnsEarlyOnDeath(t *testing.T) {
+	b := NewKiBaM(10, 0.1, 1e-4)
+	life := b.TimeToEmpty(500)
+	b.Reset()
+	got := b.Drain(500, life*10)
+	if math.Abs(got-life) > 1e-3*life {
+		t.Errorf("Drain sustained %v, predicted %v", got, life)
+	}
+	if !b.Empty() {
+		t.Error("not empty after death")
+	}
+	if b.Drain(500, 1) != 0 {
+		t.Error("drained an empty battery")
+	}
+}
+
+func TestKiBaMTimeToEmptyMatchesDrainPiecewise(t *testing.T) {
+	// Predicting then draining in many small steps must agree with the
+	// one-shot prediction (closed-form consistency).
+	b := NewKiBaM(200, 0.15, 2e-3)
+	pred := b.TimeToEmpty(150)
+	var elapsed float64
+	for !b.Empty() {
+		elapsed += b.Drain(150, 7.3)
+		if elapsed > pred*2 {
+			t.Fatal("ran far past prediction")
+		}
+	}
+	if math.Abs(elapsed-pred) > 1e-6*pred+1e-6 {
+		t.Errorf("piecewise death at %v, predicted %v", elapsed, pred)
+	}
+}
+
+func TestKiBaMExponentAcceleratesHighCurrentDeath(t *testing.T) {
+	lin := NewKiBaM(500, 0.2, 1e-3)
+	nl := NewKiBaM(500, 0.2, 1e-3)
+	nl.RefMA = 100
+	nl.Exponent = 0.5
+	// Above the reference current the nonlinear draw dies sooner.
+	if nl.TimeToEmpty(200) >= lin.TimeToEmpty(200) {
+		t.Error("exponent did not accelerate high-current death")
+	}
+	// Below the reference it dies later.
+	if nl.TimeToEmpty(50) <= lin.TimeToEmpty(50) {
+		t.Error("exponent did not decelerate low-current death")
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewIdeal(0) },
+		func() { NewIdeal(-5) },
+		func() { NewPeukert(0, 100, 1.2) },
+		func() { NewPeukert(100, 0, 1.2) },
+		func() { NewPeukert(100, 100, 0.9) },
+		func() { NewKiBaM(0, 0.5, 1e-3) },
+		func() { NewKiBaM(100, 0, 1e-3) },
+		func() { NewKiBaM(100, 1, 1e-3) },
+		func() { NewKiBaM(100, 0.5, 0) },
+		func() { NewTwoWell(0, 10, 100, 1) },
+		func() { NewTwoWell(100, 0, 100, 1) },
+		func() { NewTwoWell(100, 200, 100, 1) },
+		func() { NewTwoWell(100, 10, 0, 1) },
+		func() { NewTwoWell(100, 10, 100, -1) },
+		func() { NewIdeal(100).Drain(-1, 1) },
+		func() { NewIdeal(100).Drain(1, -1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for every model, Drain never sustains longer than requested,
+// never revives an empty battery, and SoC is monotone nonincreasing under
+// positive current.
+func TestPropertyModelInvariants(t *testing.T) {
+	mk := []func() Model{
+		func() Model { return NewIdeal(50) },
+		func() Model { return NewPeukert(50, 100, 1.3) },
+		func() Model { return NewKiBaM(50, 0.2, 1e-3) },
+		func() Model { return NewTwoWell(50, 10, 100, 2) },
+	}
+	f := func(steps []uint16, which uint8) bool {
+		b := mk[int(which)%len(mk)]()
+		prevSoC := b.StateOfCharge()
+		for _, s := range steps {
+			i := float64(s%300) + 1
+			dt := float64(s%17)*10 + 1
+			ran := b.Drain(i, dt)
+			if ran < 0 || ran > dt+1e-9 {
+				return false
+			}
+			if b.Empty() && ran == dt && b.Drain(i, 1) != 0 {
+				return false
+			}
+			soc := b.StateOfCharge()
+			if soc > prevSoC+1e-12 {
+				return false
+			}
+			prevSoC = soc
+			if b.Empty() {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delivered charge never exceeds nominal capacity for Ideal and
+// TwoWell (whose capacity is physical), at any constant rate.
+func TestPropertyDeliveredBounded(t *testing.T) {
+	f := func(iRaw uint16) bool {
+		i := float64(iRaw%400) + 1
+		ideal := NewIdeal(80)
+		Lifetime(ideal, []Segment{{CurrentMA: i, Dt: 5}})
+		if ideal.DeliveredMAh() > 80*(1+1e-9) {
+			return false
+		}
+		tw := NewTwoWell(80, 20, 100, 2)
+		Lifetime(tw, []Segment{{CurrentMA: i, Dt: 5}})
+		return tw.DeliveredMAh() <= 80*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

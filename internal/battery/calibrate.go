@@ -1,0 +1,168 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Anchor is one calibration target: a load cycle together with the
+// battery lifetime the paper measured for it.
+type Anchor struct {
+	Name    string
+	Cycle   []Segment
+	TargetS float64
+}
+
+// KiBaMParams is a candidate KiBaM parameterization.
+type KiBaMParams struct {
+	CapacityMAh float64
+	C           float64
+	Kpp         float64
+	RefMA       float64
+	Exponent    float64
+}
+
+// New instantiates a battery with these parameters.
+func (p KiBaMParams) New() *KiBaM {
+	b := NewKiBaM(p.CapacityMAh, p.C, p.Kpp)
+	b.RefMA = p.RefMA
+	b.Exponent = p.Exponent
+	return b
+}
+
+func (p KiBaMParams) String() string {
+	return fmt.Sprintf("C=%.1f mAh c=%.4f k''=%.3e q=%.3f (ref %.1f mA)",
+		p.CapacityMAh, p.C, p.Kpp, p.Exponent, p.RefMA)
+}
+
+// FitResult reports the outcome of a calibration run.
+type FitResult struct {
+	Params KiBaMParams
+	// Loss is the sum over anchors of squared log lifetime ratios.
+	Loss float64
+	// Lifetimes holds the model lifetime per anchor, in anchor order.
+	Lifetimes []float64
+}
+
+// Residuals returns, per anchor, model lifetime divided by target.
+func (r FitResult) Residuals(anchors []Anchor) []float64 {
+	out := make([]float64, len(anchors))
+	for i, a := range anchors {
+		out[i] = r.Lifetimes[i] / a.TargetS
+	}
+	return out
+}
+
+// EvalKiBaM computes the calibration loss of params against anchors.
+func EvalKiBaM(params KiBaMParams, anchors []Anchor) FitResult {
+	res := FitResult{Params: params, Lifetimes: make([]float64, len(anchors))}
+	for i, a := range anchors {
+		b := params.New()
+		t := Lifetime(b, a.Cycle)
+		res.Lifetimes[i] = t
+		if math.IsInf(t, 1) || t <= 0 {
+			res.Loss = math.Inf(1)
+			return res
+		}
+		lr := math.Log(t / a.TargetS)
+		res.Loss += lr * lr
+	}
+	return res
+}
+
+// FitKiBaM searches for KiBaM parameters minimizing the loss over the
+// anchors. It runs a coarse log-space grid followed by rounds of shrinking
+// coordinate refinement; the procedure is deterministic.
+//
+// refMA fixes the Peukert reference current (the loss is invariant to
+// trading RefMA against CapacityMAh, so pinning it removes a flat
+// direction).
+func FitKiBaM(anchors []Anchor, refMA float64) FitResult {
+	type dim struct {
+		lo, hi float64
+		n      int
+		logSp  bool
+	}
+	dims := []dim{
+		{200, 6000, 9, true},  // CapacityMAh
+		{0.01, 0.9, 9, true},  // C
+		{1e-5, 3e-2, 9, true}, // Kpp
+		{0, 1.6, 9, false},    // Exponent
+	}
+	grid := func(d dim) []float64 {
+		out := make([]float64, d.n)
+		for i := range out {
+			f := float64(i) / float64(d.n-1)
+			if d.logSp {
+				out[i] = d.lo * math.Pow(d.hi/d.lo, f)
+			} else {
+				out[i] = d.lo + (d.hi-d.lo)*f
+			}
+		}
+		return out
+	}
+
+	best := FitResult{Loss: math.Inf(1)}
+	evalPoint := func(v [4]float64) {
+		p := KiBaMParams{CapacityMAh: v[0], C: v[1], Kpp: v[2], RefMA: refMA, Exponent: v[3]}
+		r := EvalKiBaM(p, anchors)
+		if r.Loss < best.Loss {
+			best = r
+		}
+	}
+
+	// Coarse full grid.
+	g := [4][]float64{grid(dims[0]), grid(dims[1]), grid(dims[2]), grid(dims[3])}
+	for _, a := range g[0] {
+		for _, b := range g[1] {
+			for _, c := range g[2] {
+				for _, d := range g[3] {
+					evalPoint([4]float64{a, b, c, d})
+				}
+			}
+		}
+	}
+
+	// Shrinking coordinate refinement around the incumbent.
+	shrink := []float64{0.5, 0.25, 0.12, 0.06, 0.03, 0.015, 0.008}
+	for _, s := range shrink {
+		for pass := 0; pass < 2; pass++ {
+			cur := [4]float64{best.Params.CapacityMAh, best.Params.C, best.Params.Kpp, best.Params.Exponent}
+			for d := 0; d < 4; d++ {
+				vals := refineRange(cur[d], s, dims[d].lo, dims[d].hi, dims[d].logSp, 7)
+				for _, v := range vals {
+					trial := cur
+					trial[d] = v
+					evalPoint(trial)
+				}
+				cur = [4]float64{best.Params.CapacityMAh, best.Params.C, best.Params.Kpp, best.Params.Exponent}
+			}
+		}
+	}
+	return best
+}
+
+// refineRange produces n candidate values around center with relative
+// half-width s, clipped to [lo, hi].
+func refineRange(center, s, lo, hi float64, logSp bool, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		f := -1 + 2*float64(i)/float64(n-1)
+		var v float64
+		if logSp && center > 0 {
+			v = center * math.Pow(1+s, f*2)
+		} else {
+			v = center + f*s*(hi-lo)
+		}
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}

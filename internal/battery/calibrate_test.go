@@ -1,0 +1,133 @@
+package battery
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// easyAnchors builds a small, quickly-evaluated anchor set from a known
+// TwoWell ground truth (cycle durations are long so lifetimes take few
+// Drain iterations).
+func easyAnchors() []Anchor {
+	// Ground truth inside the fitter's Itsy-scale search ranges; long
+	// segments keep Lifetime cheap (few Drain iterations per anchor).
+	truth := TwoWellParams{CapacityMAh: 800, AvailMAh: 90, FlowMA: 100, RecoverMA: 2}
+	mk := func(name string, cycle []Segment) Anchor {
+		return Anchor{Name: name, Cycle: cycle, TargetS: Lifetime(truth.New(), cycle)}
+	}
+	return []Anchor{
+		mk("hi", []Segment{{CurrentMA: 130, Dt: 500}}),
+		mk("lo", []Segment{{CurrentMA: 60, Dt: 500}}),
+		mk("cy", []Segment{{CurrentMA: 110, Dt: 120}, {CurrentMA: 130, Dt: 110}}),
+		mk("cl", []Segment{{CurrentMA: 40, Dt: 120}, {CurrentMA: 130, Dt: 110}}),
+	}
+}
+
+func TestFitTwoWellRecoversGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid fit is slow")
+	}
+	anchors := easyAnchors()
+	params, res := FitTwoWell(anchors)
+	if res.Loss > 0.01 {
+		t.Fatalf("fit loss %v (params %v)", res.Loss, params)
+	}
+	for i, a := range anchors {
+		if r := res.Lifetimes[i] / a.TargetS; math.Abs(r-1) > 0.08 {
+			t.Errorf("%s: fitted lifetime off by %v", a.Name, r)
+		}
+	}
+}
+
+func TestFitKiBaMImprovesOverDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid fit is slow")
+	}
+	// KiBaM cannot fit a TwoWell ground truth exactly; it must still
+	// find something finite and beat a naive guess.
+	anchors := easyAnchors()
+	res := FitKiBaM(anchors, 100)
+	if math.IsInf(res.Loss, 1) {
+		t.Fatal("fit found nothing")
+	}
+	naive := EvalKiBaM(KiBaMParams{CapacityMAh: 500, C: 0.5, Kpp: 1e-3, RefMA: 100}, anchors)
+	if res.Loss >= naive.Loss {
+		t.Fatalf("fit loss %v not below naive %v", res.Loss, naive.Loss)
+	}
+}
+
+func TestParamStringsAndNames(t *testing.T) {
+	kp := KiBaMParams{CapacityMAh: 100, C: 0.2, Kpp: 1e-3, RefMA: 100, Exponent: 0.5}
+	if !strings.Contains(kp.String(), "C=100.0") {
+		t.Errorf("KiBaMParams.String: %q", kp.String())
+	}
+	tw := TwoWellParams{CapacityMAh: 100, AvailMAh: 10, FlowMA: 50, RecoverMA: 1}
+	if !strings.Contains(tw.String(), "F=50.00") {
+		t.Errorf("TwoWellParams.String: %q", tw.String())
+	}
+	names := map[string]Model{
+		"ideal":         NewIdeal(1),
+		"peukert":       NewPeukert(1, 1, 1),
+		"kibam":         NewKiBaM(1, 0.5, 1),
+		"twowell":       NewTwoWell(1, 0.5, 1, 0),
+		"kibam+peukert": kp.New(),
+	}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Errorf("Name() = %q, want %q", m.Name(), want)
+		}
+	}
+}
+
+func TestResetRestoresAllModels(t *testing.T) {
+	models := []Model{
+		NewIdeal(10),
+		NewPeukert(10, 100, 1.5),
+		NewKiBaM(10, 0.3, 1e-3),
+		NewTwoWell(10, 3, 100, 1),
+	}
+	for _, m := range models {
+		m.Drain(200, 60)
+		m.Reset()
+		if m.StateOfCharge() != 1 || m.DeliveredMAh() != 0 || m.Empty() {
+			t.Errorf("%s: Reset incomplete (SoC %v, delivered %v, empty %v)",
+				m.Name(), m.StateOfCharge(), m.DeliveredMAh(), m.Empty())
+		}
+	}
+}
+
+func TestPeukertTimeToEmptyZeroCurrent(t *testing.T) {
+	b := NewPeukert(10, 100, 1.5)
+	if !math.IsInf(b.TimeToEmpty(0), 1) {
+		t.Error("zero current should last forever")
+	}
+	if got := b.Drain(0, 100); got != 100 {
+		t.Errorf("Drain(0) = %v", got)
+	}
+}
+
+func TestKiBaMTimeToEmptyWhenAlreadyEmpty(t *testing.T) {
+	b := NewKiBaM(0.001, 0.5, 1e-2)
+	b.Drain(1000, 1e9)
+	if !b.Empty() {
+		t.Fatal("not empty")
+	}
+	if b.TimeToEmpty(10) != 0 {
+		t.Error("TimeToEmpty of empty battery should be 0")
+	}
+}
+
+func TestTwoWellTimeToEmptyWhenAlreadyEmpty(t *testing.T) {
+	b := NewTwoWell(0.001, 0.001, 100, 0)
+	b.Drain(1000, 1e9)
+	if !b.Empty() {
+		t.Fatal("not empty")
+	}
+	if b.TimeToEmpty(10) != 0 {
+		t.Error("TimeToEmpty of empty battery should be 0")
+	}
+	if b.Drain(10, 1) != 0 {
+		t.Error("empty battery drained")
+	}
+}

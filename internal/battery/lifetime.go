@@ -1,0 +1,60 @@
+package battery
+
+import "math"
+
+// Segment is one phase of a repeating load cycle: a constant current held
+// for a fixed duration. A node's frame loop (RECV, PROC, SEND, idle)
+// reduces to a cycle of segments.
+type Segment struct {
+	CurrentMA float64
+	Dt        float64
+}
+
+// CycleMeanMA returns the time-averaged current of a cycle.
+func CycleMeanMA(cycle []Segment) float64 {
+	var q, t float64
+	for _, s := range cycle {
+		q += s.CurrentMA * s.Dt
+		t += s.Dt
+	}
+	if t == 0 {
+		return 0
+	}
+	return q / t
+}
+
+// Lifetime discharges b from its current state with endless repetitions
+// of cycle and returns the total time until the battery empties. A cycle
+// that the battery can sustain forever (e.g. all-zero current) returns
+// +Inf. The battery is left empty (or untouched, in the +Inf case).
+func Lifetime(b Model, cycle []Segment) float64 {
+	if len(cycle) == 0 {
+		panic("battery: empty cycle")
+	}
+	if len(cycle) == 1 {
+		// Constant load: the model can answer in closed form.
+		t := b.TimeToEmpty(cycle[0].CurrentMA)
+		if !math.IsInf(t, 1) {
+			b.Drain(cycle[0].CurrentMA, t*(1+1e-12)+1e-9)
+		}
+		return t
+	}
+	var elapsed float64
+	// Guard: if a full cycle drains no net charge capacity, it may be
+	// sustainable forever.
+	const maxCycles = 200_000_000
+	for n := 0; n < maxCycles; n++ {
+		socBefore := b.StateOfCharge()
+		for _, s := range cycle {
+			ran := b.Drain(s.CurrentMA, s.Dt)
+			elapsed += ran
+			if ran < s.Dt || b.Empty() {
+				return elapsed
+			}
+		}
+		if b.StateOfCharge() >= socBefore && CycleMeanMA(cycle) == 0 {
+			return math.Inf(1)
+		}
+	}
+	panic("battery: lifetime exceeded cycle limit (unsustainably slow drain?)")
+}

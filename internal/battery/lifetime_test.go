@@ -1,0 +1,82 @@
+package battery
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCycleMeanMA(t *testing.T) {
+	cycle := []Segment{{CurrentMA: 100, Dt: 1}, {CurrentMA: 50, Dt: 3}}
+	want := (100.0 + 150.0) / 4.0
+	if got := CycleMeanMA(cycle); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if CycleMeanMA(nil) != 0 {
+		t.Error("empty cycle mean should be 0")
+	}
+}
+
+func TestLifetimeSingleSegmentUsesClosedForm(t *testing.T) {
+	b := NewIdeal(100)
+	life := Lifetime(b, []Segment{{CurrentMA: 100, Dt: 123}})
+	if math.Abs(life-3600) > 1e-6 {
+		t.Errorf("lifetime = %v, want 3600", life)
+	}
+	if !b.Empty() {
+		t.Error("battery not left empty")
+	}
+}
+
+func TestLifetimeMultiSegmentStopsMidSegment(t *testing.T) {
+	b := NewIdeal(1) // 3600 mA·s
+	// 100 mA segments of 10 s: dies during the 4th segment at t=36.
+	life := Lifetime(b, []Segment{{CurrentMA: 100, Dt: 10}, {CurrentMA: 100, Dt: 10}})
+	if math.Abs(life-36) > 1e-9 {
+		t.Errorf("lifetime = %v, want 36", life)
+	}
+}
+
+func TestLifetimeInfiniteForZeroLoad(t *testing.T) {
+	b := NewIdeal(10)
+	if !math.IsInf(Lifetime(b, []Segment{{CurrentMA: 0, Dt: 5}}), 1) {
+		t.Error("zero single-segment load should be infinite")
+	}
+	b2 := NewIdeal(10)
+	if !math.IsInf(Lifetime(b2, []Segment{{CurrentMA: 0, Dt: 5}, {CurrentMA: 0, Dt: 3}}), 1) {
+		t.Error("zero multi-segment load should be infinite")
+	}
+}
+
+func TestLifetimeEmptyCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty cycle did not panic")
+		}
+	}()
+	Lifetime(NewIdeal(1), nil)
+}
+
+func TestLifetimeAgreesAcrossModelsAtSustainableRate(t *testing.T) {
+	// Below the cliff and at the Peukert reference, all models agree.
+	cycle := []Segment{{CurrentMA: 50, Dt: 2}}
+	ideal := Lifetime(NewIdeal(100), cycle)
+	twowell := Lifetime(NewTwoWell(100, 20, 80, 1), cycle)
+	if math.Abs(ideal-twowell) > 1e-6*ideal {
+		t.Errorf("ideal %v vs twowell %v at sustainable rate", ideal, twowell)
+	}
+}
+
+func TestEvalKiBaMLoss(t *testing.T) {
+	anchors := []Anchor{
+		{Name: "x", Cycle: []Segment{{CurrentMA: 100, Dt: 1}}, TargetS: 1000},
+	}
+	p := KiBaMParams{CapacityMAh: 100, C: 0.3, Kpp: 1e-3, RefMA: 100, Exponent: 0}
+	r := EvalKiBaM(p, anchors)
+	if math.IsInf(r.Loss, 1) || len(r.Lifetimes) != 1 {
+		t.Fatalf("eval failed: %+v", r)
+	}
+	res := r.Residuals(anchors)
+	if math.Abs(res[0]-r.Lifetimes[0]/1000) > 1e-12 {
+		t.Error("residuals inconsistent")
+	}
+}

@@ -1,0 +1,201 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// itsy returns the roughly-calibrated pack used in these tests (the exact
+// production parameters are solved in internal/core from the anchors).
+func itsy() *TwoWell { return NewTwoWell(838.8, 79.72, 106.67, 1.39) }
+
+func TestTwoWellBelowCliffDeliversFullCapacity(t *testing.T) {
+	b := itsy()
+	life := b.TimeToEmpty(65)
+	want := 838.8 * 3600 / 65
+	if math.Abs(life-want) > 1 {
+		t.Errorf("lifetime at 65 mA = %v, want %v (full capacity)", life, want)
+	}
+}
+
+func TestTwoWellAboveCliffDiesByWell(t *testing.T) {
+	b := itsy()
+	life := b.TimeToEmpty(130)
+	want := 79.72 * 3600 / (130 - 106.67)
+	if math.Abs(life-want) > 1 {
+		t.Errorf("lifetime at 130 mA = %v, want %v (well death)", life, want)
+	}
+	// Far less than the full capacity is delivered: the rate-capacity
+	// effect.
+	b.Drain(130, life+1)
+	if b.DeliveredMAh() > 0.6*838.8 {
+		t.Errorf("delivered %v mAh at 130 mA; expected strong rate-capacity loss", b.DeliveredMAh())
+	}
+}
+
+func TestTwoWellCliffIsSharp(t *testing.T) {
+	// Well death overtakes total-charge death at I* = F/(1 − A/C)
+	// ≈ 118 mA; beyond it the lifetime curve drops far below the
+	// capacity line C/I. A 10% current increase from 118 to 130 mA must
+	// cost far more than 10% of lifetime.
+	b := itsy()
+	at118 := b.TimeToEmpty(118)
+	b.Reset()
+	at130 := b.TimeToEmpty(130)
+	if at118/at130 < 2 {
+		t.Errorf("lifetime 118→130 mA only dropped %vx; expected a sharp knee", at118/at130)
+	}
+	// Below the knee the capacity line holds exactly.
+	b.Reset()
+	at90 := b.TimeToEmpty(90)
+	if math.Abs(at90-838.8*3600/90) > 1 {
+		t.Errorf("lifetime at 90 mA = %v, want capacity line", at90)
+	}
+}
+
+func TestTwoWellRecoveryIsSlow(t *testing.T) {
+	b := itsy()
+	b.Drain(130, 3600) // dig a deep well deficit
+	availBefore := b.AvailableFraction()
+	b.Drain(0, 60) // one minute of full rest
+	regained := (b.AvailableFraction() - availBefore) * 79.72 * 3600
+	// Recovery is capped at RecoverMA: at most 1.39 mA·60 s.
+	if regained > 1.39*60+1e-6 {
+		t.Errorf("regained %v mA·s in 60 s rest, cap is %v", regained, 1.39*60)
+	}
+	if regained <= 0 {
+		t.Error("no recovery at rest")
+	}
+}
+
+func TestTwoWellWellNeverExceedsFull(t *testing.T) {
+	b := NewTwoWell(100, 10, 100, 50)
+	b.Drain(120, 60) // small deficit
+	b.Drain(0, 1e6)  // rest far longer than needed
+	if b.AvailableFraction() > 1+1e-12 {
+		t.Errorf("available fraction %v > 1", b.AvailableFraction())
+	}
+	if b.Empty() {
+		t.Error("resting emptied the battery")
+	}
+}
+
+func TestTwoWellWellCappedByRemainingCharge(t *testing.T) {
+	b := NewTwoWell(100, 90, 1000, 0)
+	// Drain nearly all total charge at a sustainable rate.
+	b.Drain(500, 100*3600/500*0.99)
+	if b.Empty() {
+		t.Fatal("unexpectedly empty")
+	}
+	availMAs := b.AvailableFraction() * 90 * 3600
+	remainMAs := b.StateOfCharge() * 100 * 3600
+	if availMAs > remainMAs+1e-6 {
+		t.Errorf("well %v mA·s exceeds remaining charge %v", availMAs, remainMAs)
+	}
+}
+
+func TestTwoWellPaperAnchorShapes(t *testing.T) {
+	// The calibrated pack reproduces the paper's qualitative findings.
+	b := itsy()
+	t0A := Lifetime(b, []Segment{{CurrentMA: 130.12, Dt: 1.1}})
+	b = itsy()
+	t0B := Lifetime(b, []Segment{{CurrentMA: 65.02, Dt: 2.2}})
+	b = itsy()
+	t1 := Lifetime(b, []Segment{{CurrentMA: 110.10, Dt: 1.2}, {CurrentMA: 130.12, Dt: 1.1}})
+	b = itsy()
+	t1A := Lifetime(b, []Segment{{CurrentMA: 39.97, Dt: 1.2}, {CurrentMA: 130.12, Dt: 1.1}})
+	if !(t0A < t1 && t1 < t1A && t1A < t0B) {
+		t.Errorf("ordering violated: 0A=%v 1=%v 1A=%v 0B=%v", t0A, t1, t1A, t0B)
+	}
+	// §6.3: DVS during I/O extends battery life by ≈24%.
+	gain := t1A / t1
+	if gain < 1.15 || gain < 1 || gain > 1.35 {
+		t.Errorf("DVS-during-I/O gain %v, want ≈1.24", gain)
+	}
+}
+
+func TestTwoWellTimeToEmptyMatchesDrain(t *testing.T) {
+	for _, i := range []float64{30, 90, 106, 108, 140, 400} {
+		b := itsy()
+		pred := b.TimeToEmpty(i)
+		got := b.Drain(i, pred*3+10)
+		if math.Abs(got-pred) > 1e-6*pred+1e-6 {
+			t.Errorf("at %v mA: drained %v, predicted %v", i, got, pred)
+		}
+		if !b.Empty() {
+			t.Errorf("at %v mA: not empty after predicted death", i)
+		}
+	}
+}
+
+func TestSolveTwoWellRoundTrip(t *testing.T) {
+	// Build anchors from known parameters, solve, and compare.
+	truth := TwoWellParams{CapacityMAh: 800, AvailMAh: 60, FlowMA: 100, RecoverMA: 3}
+	anchor := func(name string, cycle []Segment) Anchor {
+		return Anchor{Name: name, Cycle: cycle, TargetS: Lifetime(truth.New(), cycle)}
+	}
+	constLo := anchor("lo", []Segment{{CurrentMA: 60, Dt: 2}})
+	constHi := anchor("hi", []Segment{{CurrentMA: 125, Dt: 1}})
+	cycleHi := anchor("cy", []Segment{{CurrentMA: 110, Dt: 1.2}, {CurrentMA: 125, Dt: 1.1}})
+	cycleLo := anchor("cl", []Segment{{CurrentMA: 40, Dt: 1.2}, {CurrentMA: 125, Dt: 1.1}})
+	got, ok := SolveTwoWell(constLo, constHi, cycleHi, cycleLo)
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	close := func(a, b float64) bool { return math.Abs(a-b) < 1e-3*(math.Abs(a)+math.Abs(b)) }
+	if !close(got.CapacityMAh, truth.CapacityMAh) || !close(got.AvailMAh, truth.AvailMAh) ||
+		!close(got.FlowMA, truth.FlowMA) || !close(got.RecoverMA, truth.RecoverMA) {
+		t.Errorf("solved %v, want %v", got, truth)
+	}
+}
+
+func TestSolveTwoWellRejectsInconsistentRoles(t *testing.T) {
+	// cycleHi containing a below-cliff segment must be rejected.
+	seg := func(i, dt float64) Segment { return Segment{CurrentMA: i, Dt: dt} }
+	constLo := Anchor{Cycle: []Segment{seg(60, 2)}, TargetS: 40000}
+	constHi := Anchor{Cycle: []Segment{seg(125, 1)}, TargetS: 12000}
+	badCycleHi := Anchor{Cycle: []Segment{seg(10, 1.2), seg(125, 1.1)}, TargetS: 22000}
+	cycleLo := Anchor{Cycle: []Segment{seg(40, 1.2), seg(125, 1.1)}, TargetS: 27000}
+	if _, ok := SolveTwoWell(constLo, constHi, badCycleHi, cycleLo); ok {
+		t.Error("solve accepted a cycleHi with below-cliff segments")
+	}
+}
+
+// Property: lifetime is nonincreasing in constant current.
+func TestPropertyTwoWellLifetimeMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		ia := float64(aRaw%300) + 1
+		ib := float64(bRaw%300) + 1
+		if ia > ib {
+			ia, ib = ib, ia
+		}
+		ba := itsy()
+		bb := itsy()
+		return ba.TimeToEmpty(ia)+1e-9 >= bb.TimeToEmpty(ib)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inserting rest periods never shortens the active lifetime.
+func TestPropertyRestNeverHurts(t *testing.T) {
+	f := func(iRaw, restRaw uint8) bool {
+		i := float64(iRaw%200) + 20
+		rest := float64(restRaw%30) + 1
+		cont := itsy()
+		contLife := Lifetime(cont, []Segment{{CurrentMA: i, Dt: 5}})
+		rested := itsy()
+		total := Lifetime(rested, []Segment{{CurrentMA: i, Dt: 5}, {CurrentMA: 0, Dt: rest}})
+		if math.IsInf(total, 1) || math.IsInf(contLife, 1) {
+			return true
+		}
+		active := total * 5 / (5 + rest)
+		// Allow the final partial cycle's worth of slack.
+		return active >= contLife-(5+rest)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

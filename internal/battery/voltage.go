@@ -1,0 +1,105 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// Terminal-voltage model for the Itsy's 4 V lithium-ion pack. The paper's
+// on-board power monitor reads current; the pack's electronics cut power
+// on undervoltage, which is what "the battery dies" physically means.
+// Modelling the terminal voltage lets the simulator draw discharge curves
+// and offers an alternative, voltage-based death criterion for studies.
+//
+// V(t) = OCV(SoC) − I·Rint, with the open-circuit voltage following the
+// characteristic Li-ion S-curve: a steep initial drop from the full
+// charge plateau, a long flat region around the nominal voltage, and a
+// knee collapsing toward the cutoff as the cell empties.
+
+// VoltageModel maps state of charge and load current to terminal volts.
+type VoltageModel struct {
+	// FullV is the open-circuit voltage at 100% SoC (Li-ion: ≈4.2 V/cell;
+	// the Itsy pack reads ≈4.0–4.2 V).
+	FullV float64
+	// NominalV is the plateau voltage (≈3.7 V/cell, ≈4.0 V pack as the
+	// paper states).
+	NominalV float64
+	// EmptyV is the open-circuit voltage at 0% SoC (≈3.0 V/cell).
+	EmptyV float64
+	// RintOhm is the internal resistance (V sag = I·Rint).
+	RintOhm float64
+	// CutoffV is the undervoltage lockout.
+	CutoffV float64
+}
+
+// DefaultVoltageModel returns a single-cell-equivalent model scaled to
+// the Itsy's 4 V pack.
+func DefaultVoltageModel() VoltageModel {
+	return VoltageModel{
+		FullV:    4.2,
+		NominalV: 4.0,
+		EmptyV:   3.2,
+		RintOhm:  0.35,
+		CutoffV:  3.4,
+	}
+}
+
+// OCV returns the open-circuit voltage at the given state of charge.
+func (vm VoltageModel) OCV(soc float64) float64 {
+	soc = clamp01(soc)
+	// Piecewise blend: exponential plateau approach at the top, linear
+	// mid-region, quadratic knee at the bottom.
+	switch {
+	case soc >= 0.8:
+		// 0.8 → plateau end, 1.0 → FullV.
+		f := (soc - 0.8) / 0.2
+		return vm.plateauHi() + (vm.FullV-vm.plateauHi())*f*f
+	case soc >= 0.2:
+		// Flat region: NominalV ± small slope.
+		f := (soc - 0.2) / 0.6
+		return vm.plateauLo() + (vm.plateauHi()-vm.plateauLo())*f
+	default:
+		// Knee: collapse toward EmptyV.
+		f := soc / 0.2
+		return vm.EmptyV + (vm.plateauLo()-vm.EmptyV)*math.Sqrt(f)
+	}
+}
+
+func (vm VoltageModel) plateauHi() float64 { return vm.NominalV + 0.05 }
+func (vm VoltageModel) plateauLo() float64 { return vm.NominalV - 0.1 }
+
+// Terminal returns the loaded terminal voltage at the given state of
+// charge and draw.
+func (vm VoltageModel) Terminal(soc, currentMA float64) float64 {
+	return vm.OCV(soc) - currentMA/1000*vm.RintOhm
+}
+
+// BelowCutoff reports whether the pack electronics would cut power.
+func (vm VoltageModel) BelowCutoff(soc, currentMA float64) bool {
+	return vm.Terminal(soc, currentMA) < vm.CutoffV
+}
+
+// DischargeCurve samples terminal voltage over a constant-current
+// discharge of the model battery, returning (time s, volts) pairs until
+// the battery empties or the voltage cuts off. step is the sampling
+// interval.
+func DischargeCurve(b Model, vm VoltageModel, currentMA, step float64) (times, volts []float64) {
+	if step <= 0 {
+		panic(fmt.Sprintf("battery: bad step %v", step))
+	}
+	t := 0.0
+	for !b.Empty() {
+		v := vm.Terminal(b.StateOfCharge(), currentMA)
+		times = append(times, t)
+		volts = append(volts, v)
+		if v < vm.CutoffV {
+			break
+		}
+		ran := b.Drain(currentMA, step)
+		t += ran
+		if ran < step {
+			break
+		}
+	}
+	return times, volts
+}

@@ -1,0 +1,112 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOCVMonotoneInSoC(t *testing.T) {
+	vm := DefaultVoltageModel()
+	prev := -1.0
+	for soc := 0.0; soc <= 1.0001; soc += 0.01 {
+		v := vm.OCV(soc)
+		if v < prev-1e-9 {
+			t.Fatalf("OCV not monotone at SoC %.2f: %v < %v", soc, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOCVEndpoints(t *testing.T) {
+	vm := DefaultVoltageModel()
+	if math.Abs(vm.OCV(1)-vm.FullV) > 1e-9 {
+		t.Errorf("OCV(1) = %v, want %v", vm.OCV(1), vm.FullV)
+	}
+	if math.Abs(vm.OCV(0)-vm.EmptyV) > 1e-9 {
+		t.Errorf("OCV(0) = %v, want %v", vm.OCV(0), vm.EmptyV)
+	}
+	// Flat region sits near nominal (the paper's "4 V pack").
+	if v := vm.OCV(0.5); math.Abs(v-vm.NominalV) > 0.1 {
+		t.Errorf("OCV(0.5) = %v, want ≈%v", v, vm.NominalV)
+	}
+	// Out-of-range SoC clamps.
+	if vm.OCV(1.5) != vm.OCV(1) || vm.OCV(-0.5) != vm.OCV(0) {
+		t.Error("SoC not clamped")
+	}
+}
+
+func TestTerminalSagsWithLoad(t *testing.T) {
+	vm := DefaultVoltageModel()
+	noLoad := vm.Terminal(0.5, 0)
+	loaded := vm.Terminal(0.5, 130)
+	wantSag := 0.130 * vm.RintOhm
+	if math.Abs((noLoad-loaded)-wantSag) > 1e-12 {
+		t.Fatalf("sag %v, want %v", noLoad-loaded, wantSag)
+	}
+}
+
+func TestBelowCutoff(t *testing.T) {
+	vm := DefaultVoltageModel()
+	if vm.BelowCutoff(1.0, 130) {
+		t.Error("full battery below cutoff under load")
+	}
+	if !vm.BelowCutoff(0.01, 130) {
+		t.Error("nearly-empty battery above cutoff under load")
+	}
+}
+
+func TestDischargeCurveShape(t *testing.T) {
+	b := NewIdeal(100)
+	vm := DefaultVoltageModel()
+	times, volts := DischargeCurve(b, vm, 100, 60)
+	if len(times) < 10 {
+		t.Fatalf("curve too short: %d points", len(times))
+	}
+	// Voltage is nonincreasing for a coulomb-counter battery under
+	// constant load.
+	for i := 1; i < len(volts); i++ {
+		if volts[i] > volts[i-1]+1e-9 {
+			t.Fatalf("voltage rose at sample %d", i)
+		}
+	}
+	// Curve ends at cutoff or exhaustion, whichever first.
+	last := volts[len(volts)-1]
+	if last > vm.CutoffV && !b.Empty() {
+		t.Fatalf("curve ended early at %v V with charge left", last)
+	}
+	// Duration is bounded by the ideal lifetime.
+	if times[len(times)-1] > 100*3600/100+60 {
+		t.Fatal("curve ran past exhaustion")
+	}
+}
+
+func TestDischargeCurveBadStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero step accepted")
+		}
+	}()
+	DischargeCurve(NewIdeal(1), DefaultVoltageModel(), 10, 0)
+}
+
+// Property: terminal voltage is monotone in SoC for any fixed load, and
+// monotone (decreasing) in load for any fixed SoC.
+func TestPropertyTerminalMonotone(t *testing.T) {
+	vm := DefaultVoltageModel()
+	f := func(aRaw, bRaw, iRaw uint8) bool {
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		i := float64(iRaw)
+		if vm.Terminal(a, i) > vm.Terminal(b, i)+1e-9 {
+			return false
+		}
+		return vm.Terminal(a, i) >= vm.Terminal(a, i+10)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"dvsim/internal/atr"
+	"dvsim/internal/battery"
+	"dvsim/internal/cpu"
+	"dvsim/internal/serial"
+)
+
+// CalibrationAnchors returns the four single-node experiments the paper
+// reports with enough detail to serve as battery-fit targets:
+//
+//	0A: whole ATR, no I/O, 206.4 MHz      → 3.4 h  (§6.1)
+//	0B: whole ATR, no I/O, 103.2 MHz      → 12.9 h (§6.1)
+//	1:  baseline with host I/O, 206.4 MHz → 6.13 h (§6.2)
+//	1A: baseline + DVS during I/O         → 7.6 h  (§6.3)
+//
+// Each anchor's load cycle is built from the same CPU power model and ATR
+// profile the simulator uses, so a battery fitted here transfers directly
+// to the full experiments.
+func CalibrationAnchors() []battery.Anchor {
+	prof := atr.Default()
+	link := serial.DefaultLink()
+	pm := cpu.DefaultPowerModel()
+	max := cpu.MaxPoint
+	half := cpu.PointAt(103.2)
+	min := cpu.MinPoint
+
+	compMax := pm.CurrentMA(cpu.Compute, max)
+	compHalf := pm.CurrentMA(cpu.Compute, half)
+	commMax := pm.CurrentMA(cpu.Comm, max)
+	commMin := pm.CurrentMA(cpu.Comm, min)
+
+	recvT := link.TxTime(prof.InputKB)
+	sendT := link.TxTime(prof.OutKB(atr.FullSpan))
+	procT := prof.WholeRefS
+
+	return []battery.Anchor{
+		{
+			Name: "0A",
+			// Back-to-back computation, frames read from local storage.
+			Cycle:   []battery.Segment{{CurrentMA: compMax, Dt: procT}},
+			TargetS: 3.4 * 3600,
+		},
+		{
+			Name:    "0B",
+			Cycle:   []battery.Segment{{CurrentMA: compHalf, Dt: cpu.ScaledTime(procT, half)}},
+			TargetS: 12.9 * 3600,
+		},
+		{
+			Name: "1",
+			// RECV, PROC, SEND fill the frame delay exactly (§5.1).
+			Cycle: []battery.Segment{
+				{CurrentMA: commMax, Dt: recvT},
+				{CurrentMA: compMax, Dt: procT},
+				{CurrentMA: commMax, Dt: sendT},
+			},
+			TargetS: 6.13 * 3600,
+		},
+		{
+			Name: "1A",
+			// Same timing — I/O duration is clock-independent (§6.3) —
+			// but the serial phases run at 59 MHz.
+			Cycle: []battery.Segment{
+				{CurrentMA: commMin, Dt: recvT},
+				{CurrentMA: compMax, Dt: procT},
+				{CurrentMA: commMin, Dt: sendT},
+			},
+			TargetS: 7.6 * 3600,
+		},
+	}
+}

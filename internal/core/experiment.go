@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+
+	"dvsim/internal/atr"
+	"dvsim/internal/cpu"
+	"dvsim/internal/host"
+	"dvsim/internal/node"
+	"dvsim/internal/serial"
+	"dvsim/internal/sim"
+	"dvsim/internal/sweep"
+)
+
+// ID names one of the paper's experiments (§6).
+type ID string
+
+// The experiment suite of §6.
+const (
+	Exp0A ID = "0A" // single node, no I/O, full speed
+	Exp0B ID = "0B" // single node, no I/O, half speed
+	Exp1  ID = "1"  // baseline: single node with host I/O
+	Exp1A ID = "1A" // DVS during I/O
+	Exp2  ID = "2"  // distributed DVS by partitioning
+	Exp2A ID = "2A" // distributed DVS during I/O
+	Exp2B ID = "2B" // distributed DVS with power-failure recovery
+	Exp2C ID = "2C" // distributed DVS with node rotation
+)
+
+// AllExperiments lists the suite in the paper's order.
+var AllExperiments = []ID{Exp0A, Exp0B, Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C}
+
+// Fig10Experiments lists the experiments the paper's Fig 10 charts
+// (0A/0B are excluded: without I/O or a performance constraint they are
+// "not to be compared with other experiments", §6.1).
+var Fig10Experiments = []ID{Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C}
+
+// Label returns the paper's caption for an experiment.
+func Label(id ID) string {
+	switch id {
+	case Exp0A:
+		return "No I/O, full speed"
+	case Exp0B:
+		return "No I/O, half speed"
+	case Exp1:
+		return "Baseline"
+	case Exp1A:
+		return "DVS during I/O"
+	case Exp2:
+		return "Distributed DVS with partitioning"
+	case Exp2A:
+		return "Distributed DVS during I/O"
+	case Exp2B:
+		return "Distributed DVS with power failure recovery"
+	case Exp2C:
+		return "Distributed DVS with node rotation"
+	default:
+		return string(id)
+	}
+}
+
+// PaperHours returns the battery life the paper reports, for comparison
+// tables (§6).
+func PaperHours(id ID) float64 {
+	switch id {
+	case Exp0A:
+		return 3.4
+	case Exp0B:
+		return 12.9
+	case Exp1:
+		return 6.13
+	case Exp1A:
+		return 7.6
+	case Exp2:
+		return 14.1
+	case Exp2A:
+		return 14.44
+	case Exp2B:
+		return 15.72
+	case Exp2C:
+		return 17.82
+	default:
+		return 0
+	}
+}
+
+// PaperFrames returns the completed workload the paper reports.
+func PaperFrames(id ID) int {
+	switch id {
+	case Exp0A:
+		return 11500
+	case Exp0B:
+		return 22500
+	case Exp1:
+		return 9600
+	case Exp1A:
+		return 11900
+	case Exp2:
+		return 22100
+	case Exp2A:
+		return 22600
+	case Exp2B:
+		return 24500
+	case Exp2C:
+		return 27900
+	default:
+		return 0
+	}
+}
+
+// NodeStat summarizes one node after a run.
+type NodeStat struct {
+	Name            string
+	DiedAtH         float64 // 0 when the battery survived the run
+	FramesProcessed int
+	ResultsSent     int
+	Rotations       int
+	Migrations      int
+	DeliveredMAh    float64
+	FinalSoC        float64
+	// Per-mode seconds.
+	IdleS, CommS, ComputeS float64
+	// Per-mode charge, mAh (§4.4's energy split).
+	IdleMAh, CommMAh, ComputeMAh float64
+}
+
+// Outcome is the result of one experiment run.
+type Outcome struct {
+	ID    ID
+	Label string
+	Nodes int
+	// Frames is F(N): results delivered to the host (or frames computed,
+	// for the no-I/O experiments).
+	Frames int
+	// BatteryLifeH is T(N) = F(N)·D (§4.5) for I/O experiments, or the
+	// actual run time for the no-I/O ones.
+	BatteryLifeH float64
+	// WallH is the simulated time at which the system stopped producing.
+	WallH float64
+	// TnormH and Rnorm are filled by RunSuite (Rnorm needs T(1)).
+	TnormH float64
+	Rnorm  float64
+	// FramesDropped counts source frames no node accepted in time.
+	FramesDropped int
+	NodeStats     []NodeStat
+}
+
+// stageSetup is the per-node configuration an experiment derives.
+type stageSetup struct {
+	span    atr.Span
+	compute cpu.OperatingPoint
+	comm    cpu.OperatingPoint
+	idle    cpu.OperatingPoint
+}
+
+// Run executes one experiment and returns its outcome. Runs are
+// deterministic.
+func Run(id ID, p Params) Outcome {
+	switch id {
+	case Exp0A:
+		return runNoIO(id, p, cpu.MaxPoint)
+	case Exp0B:
+		return runNoIO(id, p, cpu.PointAt(103.2))
+	default:
+		stages, opts := stagesFor(id, p)
+		return runPipeline(id, p, stages, opts)
+	}
+}
+
+// stagesFor derives the per-node configuration of a pipeline experiment.
+func stagesFor(id ID, p Params) ([]stageSetup, pipelineOpts) {
+	switch id {
+	case Exp1:
+		return []stageSetup{
+			{atr.FullSpan, cpu.MaxPoint, cpu.MaxPoint, cpu.OperatingPoint{}},
+		}, pipelineOpts{}
+	case Exp1A:
+		return []stageSetup{
+			{atr.FullSpan, cpu.MaxPoint, cpu.MinPoint, cpu.OperatingPoint{}},
+		}, pipelineOpts{}
+	case Exp2:
+		s := mustBest(p)
+		return []stageSetup{
+			{s.Stages[0].Span, s.Stages[0].Compute, s.Stages[0].Compute, cpu.OperatingPoint{}},
+			{s.Stages[1].Span, s.Stages[1].Compute, s.Stages[1].Compute, cpu.OperatingPoint{}},
+		}, pipelineOpts{}
+	case Exp2A:
+		s := mustBest(p)
+		return []stageSetup{
+			{s.Stages[0].Span, s.Stages[0].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
+			{s.Stages[1].Span, s.Stages[1].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
+		}, pipelineOpts{}
+	case Exp2B:
+		// §6.6: with the recovery protocol's extra transactions both
+		// nodes run faster — the paper operates them at 73.7 and 118 MHz
+		// — and DVS during I/O stays on.
+		return []stageSetup{
+			{mustSpan(p, 0), cpu.PointAt(73.7), cpu.MinPoint, cpu.OperatingPoint{}},
+			{mustSpan(p, 1), cpu.PointAt(118.0), cpu.MinPoint, cpu.OperatingPoint{}},
+		}, pipelineOpts{ack: true}
+	case Exp2C:
+		s := mustBest(p)
+		return []stageSetup{
+			{s.Stages[0].Span, s.Stages[0].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
+			{s.Stages[1].Span, s.Stages[1].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
+		}, pipelineOpts{rotation: p.RotationPeriod}
+	default:
+		panic(fmt.Sprintf("core: unknown experiment %q", id))
+	}
+}
+
+func mustBest(p Params) Partition {
+	s, err := p.BestTwoNodeScheme()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mustSpan(p Params, i int) atr.Span {
+	return mustBest(p).Stages[i].Span
+}
+
+// runNoIO is experiments 0A/0B: one node computing frames from local
+// storage until its battery dies.
+func runNoIO(id ID, p Params, at cpu.OperatingPoint) Outcome {
+	k := sim.NewKernel()
+	net := serial.NewNetwork(k, p.Link)
+	c := cpu.New(p.Power, at)
+	c.SetMode(cpu.Compute)
+	pw := node.NewPower(k, c, p.Battery())
+	cfg := node.Config{Prof: p.Profile, D: p.FrameDelayS, NoIO: true}
+	roles := []node.Role{{Index: 1, Span: atr.FullSpan, Compute: at, Comm: at}}
+	n := node.New(k, net, pw, cfg, roles, 0)
+	n.Wire([]*node.Node{n}, net.Port("unused-sink"))
+	n.Start()
+	k.Run()
+
+	wallH := float64(k.Now()) / 3600
+	return Outcome{
+		ID:           id,
+		Label:        Label(id),
+		Nodes:        1,
+		Frames:       n.FramesProcessed,
+		BatteryLifeH: wallH,
+		WallH:        wallH,
+		NodeStats:    []NodeStat{statOf(n)},
+	}
+}
+
+type pipelineOpts struct {
+	ack       bool
+	rotation  int
+	trace     bool
+	native    *Native
+	maxFrames int
+	onResult  func(frame int, payload any)
+}
+
+// Native carries the real-workload hooks for native pipeline execution:
+// the scene generating input frames and the ATR pipeline computing each
+// stage. Payloads then genuinely flow node to node; timing and energy
+// still follow the calibrated profile.
+type Native struct {
+	Scene *atr.Scene
+	Pipe  *atr.Pipeline
+}
+
+// Rig is an assembled pipeline simulation: kernel, host and nodes. Use
+// Run in this package for the paper experiments, or Build + custom
+// driving for timelines and bespoke studies.
+type Rig struct {
+	K     *sim.Kernel
+	Net   *serial.Network
+	Host  *host.Host
+	Nodes []*node.Node
+
+	lastResult sim.Time
+}
+
+// buildPipeline assembles host + N nodes with the experiment's stop
+// conditions armed: every battery dead, or a death followed by a long
+// silence at the sink (the pipeline stalled with charge remaining, the
+// failure mode of §6.4).
+func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
+	k := sim.NewKernel()
+	net := serial.NewNetwork(k, p.Link)
+	h := host.New(k, net)
+	h.D = p.FrameDelayS
+	h.FrameKB = p.Profile.InputKB
+	h.RotationPeriod = opts.rotation
+
+	cfg := node.Config{
+		Prof:           p.Profile,
+		D:              p.FrameDelayS,
+		RotationPeriod: opts.rotation,
+		Ack:            opts.ack,
+		AckTimeoutS:    p.AckTimeoutS,
+	}
+	h.MaxFrames = opts.maxFrames
+	if opts.native != nil {
+		nat := opts.native
+		h.MakeFrame = func(int) any {
+			frame, _ := nat.Scene.Frame(1)
+			return frame
+		}
+		cfg.Exec = nat.Pipe.ApplySpan
+	}
+	roles := make([]node.Role, len(stages))
+	for i, s := range stages {
+		roles[i] = node.Role{Index: i + 1, Span: s.span, Compute: s.compute, Comm: s.comm, Idle: s.idle}
+	}
+	nodes := make([]*node.Node, len(stages))
+	for i := range stages {
+		c := cpu.New(p.Power, roles[i].Comm)
+		pw := node.NewPower(k, c, p.Battery())
+		if opts.trace {
+			pw.EnableTrace()
+		}
+		nodes[i] = node.New(k, net, pw, cfg, roles, i)
+	}
+	for _, n := range nodes {
+		n.Wire(nodes, h.SinkPort())
+	}
+	for _, n := range nodes {
+		h.Targets = append(h.Targets, n.Port())
+		n := n
+		h.Alive = append(h.Alive, func() bool { return !n.Dead() })
+	}
+
+	rig := &Rig{K: k, Net: net, Host: h, Nodes: nodes}
+	h.OnResult = func(r host.Result) {
+		rig.lastResult = k.Now()
+		if opts.onResult != nil {
+			opts.onResult(r.Frame, r.Payload)
+		}
+	}
+	stallWindow := sim.Time(50 * p.FrameDelayS)
+	var watch func()
+	watch = func() {
+		allDead := true
+		anyDead := false
+		for _, n := range nodes {
+			if n.Dead() {
+				anyDead = true
+			} else {
+				allDead = false
+			}
+		}
+		if allDead || ((anyDead || h.Stopped()) && k.Now()-rig.lastResult > stallWindow) {
+			rig.Finish()
+			return
+		}
+		k.After(sim.Duration(10*p.FrameDelayS), watch)
+	}
+	k.After(sim.Duration(10*p.FrameDelayS), watch)
+	return rig
+}
+
+// Start launches every node and the host.
+func (r *Rig) Start() {
+	for _, n := range r.Nodes {
+		n.Start()
+	}
+	r.Host.Start()
+}
+
+// Finish stops the source and interrupts nodes stranded with live
+// batteries so the run can end; their remaining charge is reported.
+func (r *Rig) Finish() {
+	r.Host.Stop()
+	for _, n := range r.Nodes {
+		if !n.Dead() {
+			nn := n
+			r.K.At(r.K.Now(), func() {
+				if pr := nn.Proc(); pr != nil && !pr.Done() {
+					pr.Interrupt("experiment ended")
+				}
+			})
+		}
+	}
+}
+
+// outcome extracts the paper's metrics after the run.
+func (r *Rig) outcome(id ID, p Params) Outcome {
+	frames := len(r.Host.Results)
+	out := Outcome{
+		ID:            id,
+		Label:         Label(id),
+		Nodes:         len(r.Nodes),
+		Frames:        frames,
+		BatteryLifeH:  float64(frames) * p.FrameDelayS / 3600,
+		WallH:         float64(r.lastResult) / 3600,
+		FramesDropped: r.Host.FramesDropped,
+	}
+	for _, n := range r.Nodes {
+		out.NodeStats = append(out.NodeStats, statOf(n))
+	}
+	return out
+}
+
+// runPipeline assembles the rig and runs to system exhaustion.
+func runPipeline(id ID, p Params, stages []stageSetup, opts pipelineOpts) Outcome {
+	rig := buildPipeline(p, stages, opts)
+	rig.Start()
+	rig.K.Run()
+	return rig.outcome(id, p)
+}
+
+// StageConfig describes one stage of a custom pipeline: its block span
+// and the operating points for computation, communication and (optional,
+// defaulting to Comm) idle.
+type StageConfig struct {
+	Span    atr.Span
+	Compute cpu.OperatingPoint
+	Comm    cpu.OperatingPoint
+	Idle    cpu.OperatingPoint
+}
+
+// Options selects the distributed techniques for a custom pipeline run.
+type Options struct {
+	// Ack enables the power-failure recovery protocol (two-node
+	// pipelines only, as in the paper).
+	Ack bool
+	// RotationPeriod > 1 enables node rotation every that many frames.
+	RotationPeriod int
+	// Native runs the real ATR computation through the pipeline.
+	Native *Native
+	// MaxFrames bounds the run; 0 runs to battery exhaustion.
+	MaxFrames int
+	// OnResult, when set, observes each result as it reaches the host
+	// (frame number and, for native runs, the decoded payload).
+	OnResult func(frame int, payload any)
+}
+
+// RunCustom simulates a custom pipeline to system exhaustion: one node
+// per stage, frames paced every Params.FrameDelayS, each node on its own
+// battery. It is the library entry point for configurations beyond the
+// paper's experiment suite (different partitions, N > 2 pipelines,
+// alternative rotation periods).
+func RunCustom(label string, p Params, stages []StageConfig, opts Options) Outcome {
+	if len(stages) == 0 {
+		panic("core: no stages")
+	}
+	if opts.Ack && len(stages) != 2 {
+		panic("core: recovery protocol is defined for two-node pipelines")
+	}
+	ss := make([]stageSetup, len(stages))
+	for i, s := range stages {
+		ss[i] = stageSetup{span: s.Span, compute: s.Compute, comm: s.Comm, idle: s.Idle}
+	}
+	out := runPipeline(ID(label), p, ss, pipelineOpts{
+		ack:       opts.Ack,
+		rotation:  opts.RotationPeriod,
+		native:    opts.Native,
+		maxFrames: opts.MaxFrames,
+		onResult:  opts.OnResult,
+	})
+	out.Label = label
+	return out
+}
+
+// StagesFromPartition converts a feasible Partition into stage configs,
+// optionally dropping the communication clock to the minimum point (DVS
+// during I/O).
+func StagesFromPartition(pt Partition, dvsDuringIO bool) []StageConfig {
+	out := make([]StageConfig, len(pt.Stages))
+	for i, s := range pt.Stages {
+		if !s.Feasible {
+			panic(fmt.Sprintf("core: stage %d infeasible (%v needs %.0f MHz)", i+1, s.Span, s.RequiredMHz))
+		}
+		comm := s.Compute
+		if dvsDuringIO {
+			comm = cpu.MinPoint
+		}
+		out[i] = StageConfig{Span: s.Span, Compute: s.Compute, Comm: comm}
+	}
+	return out
+}
+
+// RunTraced runs the first `until` seconds of an experiment with mode
+// tracing enabled and returns each node's constant-power spans — the
+// material of the paper's timing diagrams (Figs 2, 3 and 9). Only the
+// pipeline experiments (1…2C) can be traced; 0A/0B have no I/O structure
+// worth drawing.
+func RunTraced(id ID, p Params, until float64) [][]node.ModeSpan {
+	stages, opts := stagesFor(id, p)
+	opts.trace = true
+	rig := buildPipeline(p, stages, opts)
+	rig.Start()
+	rig.K.RunUntil(sim.Time(until))
+	out := make([][]node.ModeSpan, len(rig.Nodes))
+	for i, n := range rig.Nodes {
+		n.Power().Finish()
+		out[i] = n.Power().Trace()
+	}
+	rig.K.Stop()
+	return out
+}
+
+func statOf(n *node.Node) NodeStat {
+	pw := n.Power()
+	return NodeStat{
+		Name:            n.Name,
+		DiedAtH:         float64(n.DeadAt) / 3600,
+		FramesProcessed: n.FramesProcessed,
+		ResultsSent:     n.ResultsSent,
+		Rotations:       n.Rotations,
+		Migrations:      n.Migrations,
+		DeliveredMAh:    pw.Battery().DeliveredMAh(),
+		FinalSoC:        pw.Battery().StateOfCharge(),
+		IdleS:           pw.ModeSeconds(cpu.Idle),
+		CommS:           pw.ModeSeconds(cpu.Comm),
+		ComputeS:        pw.ModeSeconds(cpu.Compute),
+		IdleMAh:         pw.ModeMAh(cpu.Idle),
+		CommMAh:         pw.ModeMAh(cpu.Comm),
+		ComputeMAh:      pw.ModeMAh(cpu.Compute),
+	}
+}
+
+// RunSuite executes the given experiments and fills the normalized
+// metrics (§4.5): Tnorm(N) = T(N)/N and Rnorm(N) = Tnorm(N)/T(1). The
+// baseline is run if not already in the list.
+func RunSuite(ids []ID, p Params) []Outcome {
+	return RunSuiteParallel(ids, p, 1)
+}
+
+// RunSuiteParallel is RunSuite with the experiments evaluated
+// concurrently on up to workers goroutines — each experiment is an
+// independent deterministic simulation, so the suite parallelizes
+// perfectly. workers ≤ 0 selects GOMAXPROCS.
+func RunSuiteParallel(ids []ID, p Params, workers int) []Outcome {
+	outs := sweep.Run(ids, workers, func(id ID) Outcome { return Run(id, p) })
+	var t1 float64
+	for _, o := range outs {
+		if o.ID == Exp1 {
+			t1 = o.BatteryLifeH
+		}
+	}
+	if t1 == 0 {
+		t1 = Run(Exp1, p).BatteryLifeH
+	}
+	for i := range outs {
+		outs[i].TnormH = outs[i].BatteryLifeH / float64(outs[i].Nodes)
+		outs[i].Rnorm = outs[i].TnormH / t1
+	}
+	return outs
+}

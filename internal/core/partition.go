@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"dvsim/internal/atr"
+	"dvsim/internal/cpu"
+)
+
+// Partitioning analysis (§5.3, Fig 8): split the ATR blocks over pipeline
+// stages, then assign each stage the slowest operating point that still
+// finishes RECV + PROC + SEND within the frame delay.
+
+// StagePlan is the derived configuration of one pipeline stage.
+type StagePlan struct {
+	Span atr.Span
+	// InKB and OutKB are the stage's communication payloads.
+	InKB, OutKB float64
+	// CommS is the per-frame serial time at the stage (payload transfers
+	// plus, when Ack is set, the acknowledgment transactions).
+	CommS float64
+	// RequiredMHz is the exact clock needed to fit the remaining budget.
+	RequiredMHz float64
+	// Compute is the chosen operating point (lowest table entry ≥
+	// RequiredMHz). Zero when infeasible.
+	Compute cpu.OperatingPoint
+	// Feasible reports whether any table point fits.
+	Feasible bool
+	// ProcS is the PROC time at the chosen point.
+	ProcS float64
+}
+
+// TotalS is the stage's full frame time at the chosen point.
+func (sp StagePlan) TotalS() float64 { return sp.CommS + sp.ProcS }
+
+// Partition is a full pipeline plan.
+type Partition struct {
+	Stages   []StagePlan
+	Feasible bool
+}
+
+// PayloadKB returns stage i's total communication payload (Fig 8's
+// "comm. payload" column).
+func (pt Partition) PayloadKB(i int) float64 {
+	return pt.Stages[i].InKB + pt.Stages[i].OutKB
+}
+
+// Plan derives the minimal frequency assignment for a chain of spans.
+// ack adds one acknowledgment transaction per internode transfer (the
+// recovery protocol of §5.4).
+func (p Params) Plan(spans []atr.Span, ack bool) Partition {
+	if len(spans) == 0 {
+		panic("core: empty partition")
+	}
+	out := Partition{Feasible: true}
+	budgetTotal := p.FrameDelayS * (1 + p.FeasibilityTol)
+	for i, span := range spans {
+		sp := StagePlan{
+			Span:  span,
+			InKB:  p.Profile.InKB(span),
+			OutKB: p.Profile.OutKB(span),
+		}
+		sp.CommS = p.Link.TxTime(sp.InKB) + p.Link.TxTime(sp.OutKB)
+		if ack {
+			// Internode transfers are acknowledged: receiving an
+			// intermediate payload costs an ack send, and sending one
+			// costs an ack wait. Host links are not acknowledged.
+			if i > 0 {
+				sp.CommS += p.Link.AckTime()
+			}
+			if i < len(spans)-1 {
+				sp.CommS += p.Link.AckTime()
+			}
+		}
+		budget := budgetTotal - sp.CommS
+		op, req, ok := cpu.MinFreqFor(p.Profile.RefSeconds(span), budget)
+		sp.RequiredMHz = req
+		sp.Feasible = ok
+		if ok {
+			sp.Compute = op
+			sp.ProcS = cpu.ScaledTime(p.Profile.RefSeconds(span), op)
+		} else {
+			out.Feasible = false
+		}
+		out.Stages = append(out.Stages, sp)
+	}
+	return out
+}
+
+// TwoNodeSchemes returns the paper's three candidate partitions (Fig 8):
+// the full algorithm split after block 1, 2 or 3.
+func (p Params) TwoNodeSchemes() []Partition {
+	var out []Partition
+	for cut := atr.BlockDetect; cut < atr.BlockDistance; cut++ {
+		first, second := atr.SplitAfter(cut)
+		out = append(out, p.Plan([]atr.Span{first, second}, false))
+	}
+	return out
+}
+
+// BestTwoNodeScheme picks the feasible scheme minimizing the higher of
+// the two stage frequencies — the paper's selection rule (§5.3: scheme 1
+// "enables the most power-efficient CPU speeds"), with total payload as
+// the tie-breaker.
+func (p Params) BestTwoNodeScheme() (Partition, error) {
+	schemes := p.TwoNodeSchemes()
+	best := -1
+	for i, s := range schemes {
+		if !s.Feasible {
+			continue
+		}
+		if best < 0 || better(s, schemes[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Partition{}, fmt.Errorf("core: no feasible two-node partition at D=%v", p.FrameDelayS)
+	}
+	return schemes[best], nil
+}
+
+func better(a, b Partition) bool {
+	am, bm := maxFreq(a), maxFreq(b)
+	if am != bm {
+		return am < bm
+	}
+	var ap, bp float64
+	for i := range a.Stages {
+		ap += a.PayloadKB(i)
+	}
+	for i := range b.Stages {
+		bp += b.PayloadKB(i)
+	}
+	return ap < bp
+}
+
+func maxFreq(pt Partition) float64 {
+	m := 0.0
+	for _, s := range pt.Stages {
+		if s.Compute.FreqMHz > m {
+			m = s.Compute.FreqMHz
+		}
+	}
+	return m
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dvsim/internal/atr"
+)
+
+func TestCompositions(t *testing.T) {
+	// 4 blocks into 2 spans: 3 ways (cut after 0, 1 or 2).
+	got := compositions(4, 2)
+	if len(got) != 3 {
+		t.Fatalf("%d compositions, want 3", len(got))
+	}
+	// 4 blocks into 4 spans: exactly one way.
+	if got := compositions(4, 4); len(got) != 1 {
+		t.Fatalf("%d compositions into 4, want 1", len(got))
+	}
+	// 4 into 3: C(3,2) = 3 ways.
+	if got := compositions(4, 3); len(got) != 3 {
+		t.Fatalf("%d compositions into 3, want 3", len(got))
+	}
+	// Every composition covers the chain (Chain panics otherwise).
+	for _, cuts := range compositions(4, 3) {
+		spans := atr.Chain(cuts...)
+		if len(spans) != 3 {
+			t.Fatalf("chain %v has %d spans", cuts, len(spans))
+		}
+	}
+}
+
+func TestPlanForLifetimeEasyTargetUsesOneNode(t *testing.T) {
+	p := DefaultParams()
+	c, err := PlanForLifetime(p, 7.0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 1 {
+		t.Fatalf("7 h needs %d nodes (%s); a single DVS-I/O node reaches 7.6 h", c.Nodes(), c.Name)
+	}
+	if !strings.Contains(c.Name, "dvs-io") {
+		t.Fatalf("picked %q, want the DVS-during-I/O single node", c.Name)
+	}
+}
+
+func TestPlanForLifetimeHardTargetScalesOut(t *testing.T) {
+	p := DefaultParams()
+	c, err := PlanForLifetime(p, 12.0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() < 2 {
+		t.Fatalf("12 h met with %d node(s): %s at %.2f h", c.Nodes(), c.Name, c.Outcome.BatteryLifeH)
+	}
+	if c.Outcome.BatteryLifeH < 12 {
+		t.Fatalf("candidate %s only reaches %.2f h", c.Name, c.Outcome.BatteryLifeH)
+	}
+}
+
+func TestPlanForLifetimeUnreachableTarget(t *testing.T) {
+	p := DefaultParams()
+	c, err := PlanForLifetime(p, 100, 4, 0)
+	if err == nil {
+		t.Fatalf("100 h reported reachable: %s at %.2f h", c.Name, c.Outcome.BatteryLifeH)
+	}
+	// Best effort is still returned and is the overall maximum.
+	if c.Outcome.BatteryLifeH < 16 {
+		t.Fatalf("best effort %.2f h is implausibly low", c.Outcome.BatteryLifeH)
+	}
+}
+
+func TestPlanForLifetimeBadArgs(t *testing.T) {
+	if _, err := PlanForLifetime(DefaultParams(), 5, 0, 1); err == nil {
+		t.Fatal("maxNodes 0 accepted")
+	}
+}

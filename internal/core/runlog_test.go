@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunLoggedEmitsOrderedEvents(t *testing.T) {
+	p := DefaultParams()
+	var buf bytes.Buffer
+	n, err := RunLogged(Exp2, p, 5*p.FrameDelayS, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 20 {
+		t.Fatalf("only %d records", n)
+	}
+	var prev float64 = -1
+	counts := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r LogRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad record %q: %v", sc.Text(), err)
+		}
+		if r.T < prev {
+			t.Fatalf("records out of order at t=%v", r.T)
+		}
+		prev = r.T
+		counts[r.Event]++
+		if r.Event == "mode" {
+			if r.End < r.T || r.Node == "" || r.Mode == "" {
+				t.Fatalf("bad mode record: %+v", r)
+			}
+		}
+	}
+	if counts["mode"] == 0 {
+		t.Fatal("no mode records")
+	}
+	if counts["result"] < 3 {
+		t.Fatalf("%d results in 5 frame periods", counts["result"])
+	}
+	if counts["death"] != 0 {
+		t.Fatal("nobody should die in 11.5 s")
+	}
+}
+
+func TestRunLoggedModesCoverBothNodes(t *testing.T) {
+	p := DefaultParams()
+	var buf bytes.Buffer
+	if _, err := RunLogged(Exp2, p, 4*p.FrameDelayS, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"node":"node1"`, `"node":"node2"`, `"mode":"communication"`, `"mode":"computation"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %s", want)
+		}
+	}
+}
+
+func TestRunLoggedRejectsBadWindow(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunLogged(Exp1, DefaultParams(), 0, &buf); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}

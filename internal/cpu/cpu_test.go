@@ -1,0 +1,280 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableShape(t *testing.T) {
+	if len(Table) != 11 {
+		t.Fatalf("table has %d levels, want 11 (paper §4.1)", len(Table))
+	}
+	if Table[0].FreqMHz != 59.0 || Table[10].FreqMHz != 206.4 {
+		t.Fatalf("table range %v..%v, want 59..206.4", Table[0].FreqMHz, Table[10].FreqMHz)
+	}
+	for i := 1; i < len(Table); i++ {
+		if Table[i].FreqMHz <= Table[i-1].FreqMHz {
+			t.Fatalf("frequencies not strictly increasing at %d", i)
+		}
+		if Table[i].VoltageV < Table[i-1].VoltageV {
+			t.Fatalf("voltages not nondecreasing at %d", i)
+		}
+	}
+}
+
+func TestNamedPoints(t *testing.T) {
+	if MinPoint.FreqMHz != 59.0 {
+		t.Errorf("MinPoint = %v", MinPoint)
+	}
+	if MaxPoint.FreqMHz != 206.4 {
+		t.Errorf("MaxPoint = %v", MaxPoint)
+	}
+}
+
+func TestPointAt(t *testing.T) {
+	op := PointAt(103.2)
+	if op.VoltageV != 1.067 {
+		t.Errorf("PointAt(103.2).VoltageV = %v, want 1.067", op.VoltageV)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PointAt(100) did not panic")
+		}
+	}()
+	PointAt(100)
+}
+
+func TestIndex(t *testing.T) {
+	for i, op := range Table {
+		if Index(op) != i {
+			t.Errorf("Index(%v) = %d, want %d", op, Index(op), i)
+		}
+	}
+	if Index(OperatingPoint{100, 1}) != -1 {
+		t.Error("Index of bogus point != -1")
+	}
+}
+
+func TestNextAbove(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want float64
+		ok   bool
+	}{
+		{0, 59.0, true},
+		{59.0, 59.0, true},
+		{59.1, 73.7, true},
+		{104.7, 118.0, true}, // the paper's scheme-1 Node2 marginal case
+		{129.0, 132.7, true}, // scheme-2 Node2
+		{80.4, 88.5, true},   // scheme-3 Node2
+		{206.4, 206.4, true},
+		{206.5, 0, false},
+		{380, 0, false}, // scheme-3 Node1: infeasible (§5.3)
+	}
+	for _, c := range cases {
+		op, ok := NextAbove(c.f)
+		if ok != c.ok {
+			t.Errorf("NextAbove(%v) ok = %v, want %v", c.f, ok, c.ok)
+			continue
+		}
+		if ok && op.FreqMHz != c.want {
+			t.Errorf("NextAbove(%v) = %v, want %v MHz", c.f, op.FreqMHz, c.want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Idle.String() != "idle" || Comm.String() != "communication" || Compute.String() != "computation" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode formatting")
+	}
+}
+
+func TestPowerModelAnchors(t *testing.T) {
+	pm := DefaultPowerModel()
+	// Anchors the paper states explicitly.
+	anchors := []struct {
+		mode Mode
+		f    float64
+		want float64
+		tol  float64
+	}{
+		{Compute, 206.4, 130, 3}, // Fig 7 top of range
+		{Comm, 206.4, 110, 3},    // §6.3: "reduced from 110 mA"
+		{Comm, 59.0, 40, 3},      // §6.3: "...to 40 mA"
+		{Comm, 103.2, 55, 3},     // §6.5: "low-power level during I/O (55 mA)"
+	}
+	for _, a := range anchors {
+		got := pm.CurrentMA(a.mode, PointAt(a.f))
+		if math.Abs(got-a.want) > a.tol {
+			t.Errorf("%v @ %v MHz = %.1f mA, want %.0f±%.0f", a.mode, a.f, got, a.want, a.tol)
+		}
+	}
+	// Fig 7: the three curves range from 30 mA to 130 mA.
+	lo := pm.CurrentMA(Idle, MinPoint)
+	hi := pm.CurrentMA(Compute, MaxPoint)
+	if lo < 25 || lo > 35 {
+		t.Errorf("bottom of range %.1f mA, want ≈30", lo)
+	}
+	if hi < 125 || hi > 135 {
+		t.Errorf("top of range %.1f mA, want ≈130", hi)
+	}
+}
+
+func TestPowerModelOrdering(t *testing.T) {
+	pm := DefaultPowerModel()
+	for _, op := range Table {
+		idle := pm.CurrentMA(Idle, op)
+		comm := pm.CurrentMA(Comm, op)
+		comp := pm.CurrentMA(Compute, op)
+		if !(idle < comm && comm < comp) {
+			t.Errorf("at %v: idle %.1f, comm %.1f, compute %.1f — want idle<comm<compute", op, idle, comm, comp)
+		}
+	}
+}
+
+func TestPowerModelMonotoneInFrequency(t *testing.T) {
+	pm := DefaultPowerModel()
+	for _, m := range Modes {
+		prev := -1.0
+		for _, op := range Table {
+			cur := pm.CurrentMA(m, op)
+			if cur <= prev {
+				t.Errorf("%v current not increasing at %v", m, op)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPowerW(t *testing.T) {
+	pm := DefaultPowerModel()
+	// Fig 6 commentary: power range 0.1 W to 0.5 W.
+	lo := pm.PowerW(Idle, MinPoint)
+	hi := pm.PowerW(Compute, MaxPoint)
+	if lo < 0.08 || lo > 0.15 {
+		t.Errorf("low power %.3f W, want ≈0.1", lo)
+	}
+	if hi < 0.45 || hi > 0.55 {
+		t.Errorf("high power %.3f W, want ≈0.5", hi)
+	}
+}
+
+func TestScaledTimeLinear(t *testing.T) {
+	// §4.3: performance degrades linearly with clock rate; 1.1 s at 206.4
+	// becomes 2.2 s at 103.2.
+	got := ScaledTime(1.1, PointAt(103.2))
+	if math.Abs(got-2.2) > 1e-9 {
+		t.Errorf("ScaledTime(1.1, 103.2) = %v, want 2.2", got)
+	}
+	if ScaledTime(1.1, MaxPoint) != 1.1 {
+		t.Error("reference point must be identity")
+	}
+}
+
+func TestMinFreqFor(t *testing.T) {
+	// Paper scheme 1 Node1: target detection 0.18 s in a 1.05 s slot →
+	// lowest frequency works.
+	op, req, ok := MinFreqFor(0.18, 1.05)
+	if !ok || op.FreqMHz != 59.0 {
+		t.Errorf("MinFreqFor(0.18, 1.05) = %v (req %.1f), want 59 MHz", op, req)
+	}
+	// Infeasible: required > 206.4.
+	_, req, ok = MinFreqFor(0.69, 0.375)
+	if ok {
+		t.Error("expected infeasible")
+	}
+	if req < 300 || req > 420 {
+		t.Errorf("required %.1f MHz, want ≈380 (paper §5.3)", req)
+	}
+	// Degenerate budgets.
+	if _, _, ok := MinFreqFor(1, 0); ok {
+		t.Error("zero budget should be infeasible")
+	}
+	if op, _, ok := MinFreqFor(0, 1); !ok || op != MinPoint {
+		t.Error("zero work should pick the slowest point")
+	}
+}
+
+func TestCPUStateTransitions(t *testing.T) {
+	c := New(nil, MaxPoint)
+	if c.Mode() != Idle || c.Point() != MaxPoint {
+		t.Fatal("initial state wrong")
+	}
+	c.SetMode(Compute)
+	if c.Mode() != Compute {
+		t.Fatal("SetMode failed")
+	}
+	if c.CurrentMA() != c.Model().CurrentMA(Compute, MaxPoint) {
+		t.Fatal("CurrentMA mismatch")
+	}
+	if d := c.SetPoint(MaxPoint); d != 0 {
+		t.Errorf("same-point switch latency %v, want 0", d)
+	}
+	if c.Switches() != 0 {
+		t.Error("same-point switch counted")
+	}
+	c.SetPoint(MinPoint)
+	if c.Switches() != 1 || c.Point() != MinPoint {
+		t.Error("switch not recorded")
+	}
+	c.SwitchLatency = 0.001
+	if d := c.SetPoint(MaxPoint); d != 0.001 {
+		t.Errorf("switch latency %v, want 0.001", d)
+	}
+}
+
+func TestCPUExecTime(t *testing.T) {
+	c := New(nil, PointAt(59.0))
+	got := c.ExecTime(0.18)
+	want := 0.18 * 206.4 / 59.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExecTime = %v, want %v", got, want)
+	}
+}
+
+// Property: MinFreqFor always returns a point that meets the budget, and
+// the next-slower point (if any) would miss it.
+func TestPropertyMinFreqForIsMinimal(t *testing.T) {
+	f := func(workRaw, budgetRaw uint16) bool {
+		work := float64(workRaw)/1e4 + 1e-4 // (0, ~6.5] s
+		budget := float64(budgetRaw)/1e4 + 1e-4
+		op, req, ok := MinFreqFor(work, budget)
+		if !ok {
+			// Infeasible: even max frequency misses.
+			return ScaledTime(work, MaxPoint) > budget && req > MaxPoint.FreqMHz
+		}
+		if ScaledTime(work, op) > budget*(1+1e-12) {
+			return false
+		}
+		i := Index(op)
+		if i > 0 {
+			slower := Table[i-1]
+			if ScaledTime(work, slower) <= budget*(1-1e-12) {
+				return false // a slower point would also have worked
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: current increases with f·V² within each mode, and power in
+// watts equals 4·I/1000.
+func TestPropertyPowerConsistency(t *testing.T) {
+	pm := DefaultPowerModel()
+	for _, m := range Modes {
+		for _, op := range Table {
+			i := pm.CurrentMA(m, op)
+			w := pm.PowerW(m, op)
+			if math.Abs(w-4*i/1000) > 1e-12 {
+				t.Fatalf("PowerW inconsistent with CurrentMA at %v/%v", m, op)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package host models the mains-powered host computer of the paper's
+// testbed (Fig 5): the external frame source, the result destination, and
+// the PPP hub between the Itsy nodes. The host has no battery and no
+// power budget; it exists to pace the workload and collect results.
+package host
+
+import (
+	"fmt"
+
+	"dvsim/internal/serial"
+	"dvsim/internal/sim"
+)
+
+// Result records one final result's arrival at the host.
+type Result struct {
+	Frame int
+	At    sim.Time
+	From  string
+	// Payload is the result content when the pipeline runs natively.
+	Payload any
+}
+
+// Host is the external source and destination.
+type Host struct {
+	k   *sim.Kernel
+	net *serial.Network
+
+	// D is the frame period: one frame enters the pipeline every D
+	// seconds (§4.5).
+	D float64
+	// FrameKB is the raw frame payload (10.1 KB).
+	FrameKB float64
+	// RotationPeriod mirrors the pipeline's rotation setting so the
+	// source can address the node currently holding role 1.
+	RotationPeriod int
+	// MakeFrame, when non-nil, generates the real frame payload for each
+	// frame number (native pipeline execution).
+	MakeFrame func(frame int) any
+	// MaxFrames, when > 0, stops the source after that many frames
+	// (bounded studies; 0 runs until Stop or battery exhaustion).
+	MaxFrames int
+
+	// Targets lists the pipeline nodes' ports in physical ring order;
+	// Alive reports whether a target can still accept frames.
+	Targets []*serial.Port
+	Alive   []func() bool
+
+	srcPort  *serial.Port
+	sinkPort *serial.Port
+
+	// FramesSent counts frames the source actually delivered.
+	FramesSent int
+	// FramesDropped counts frames that could not even be queued because
+	// no live node existed to address them.
+	FramesDropped int
+	// MaxQueue is the largest frame backlog observed at any node port —
+	// the host's buffering absorbs a pipeline that runs slightly over
+	// the frame budget (the paper's scheme-1 Node2 needs 2.33 s of a
+	// 2.3 s slot).
+	MaxQueue int
+	// Results collects final results in arrival order.
+	Results []Result
+	// OnResult, when set, observes each arriving result.
+	OnResult func(Result)
+
+	stopped bool
+}
+
+// New returns a host on the network. Configure the exported fields, then
+// call Start.
+func New(k *sim.Kernel, net *serial.Network) *Host {
+	return &Host{
+		k:        k,
+		net:      net,
+		srcPort:  net.Port("host-src"),
+		sinkPort: net.Port("host-sink"),
+	}
+}
+
+// SinkPort is where pipeline nodes address final results.
+func (h *Host) SinkPort() *serial.Port { return h.sinkPort }
+
+// Start spawns the source and sink processes.
+func (h *Host) Start() {
+	h.k.Spawn("host-src", h.runSource)
+	h.k.Spawn("host-sink", h.runSink)
+}
+
+// Stop makes the source cease sending new frames (the sink keeps
+// draining). Used by experiment harnesses on stall detection.
+func (h *Host) Stop() { h.stopped = true }
+
+// Stopped reports whether the source has finished emitting frames.
+func (h *Host) Stopped() bool { return h.stopped }
+
+// role1Phys returns the physical index of the node holding role 1 for
+// the given frame, accounting for completed rotations (§5.5).
+func (h *Host) role1Phys(frame int) int {
+	n := len(h.Targets)
+	if h.RotationPeriod <= 1 || n == 0 {
+		return 0
+	}
+	k := frame / h.RotationPeriod
+	return ((-k)%n + n) % n
+}
+
+// runSource emits one frame every D seconds, queued at the current
+// role-1 node's port. The mains-powered host buffers freely: a frame the
+// node is not yet ready for simply waits at the port (the paper's Fig 5
+// host forwards over per-node PPP links and has no memory pressure), so
+// a pipeline running a couple of percent over budget lags but never
+// desynchronizes. If the role-1 node is known dead the next live node in
+// ring order is addressed instead, which is how the host follows a
+// post-failure migration.
+func (h *Host) runSource(p *sim.Proc) {
+	for frame := 0; ; frame++ {
+		if h.MaxFrames > 0 && frame >= h.MaxFrames {
+			h.stopped = true
+			return
+		}
+		if err := p.WaitUntil(sim.Time(float64(frame) * h.D)); err != nil {
+			return
+		}
+		if h.stopped {
+			return
+		}
+		target := h.pickTarget(frame)
+		if target == nil {
+			h.FramesDropped++
+			continue
+		}
+		if q := target.Pending() + 1; q > h.MaxQueue {
+			h.MaxQueue = q
+		}
+		// Deliver from a dedicated process so pacing never blocks on a
+		// busy node; the port preserves posting order.
+		frame := frame
+		h.k.Spawn(fmt.Sprintf("host-frame-%d", frame), func(p *sim.Proc) {
+			msg := serial.Message{
+				Kind:  serial.KindFrame,
+				Frame: frame,
+				KB:    h.FrameKB,
+			}
+			if h.MakeFrame != nil {
+				msg.Payload = h.MakeFrame(frame)
+			}
+			err := h.srcPort.Send(p, target, msg)
+			if err == nil {
+				h.FramesSent++
+			}
+		})
+	}
+}
+
+// pickTarget selects the port to offer the frame to.
+func (h *Host) pickTarget(frame int) *serial.Port {
+	if len(h.Targets) == 0 {
+		return nil
+	}
+	start := h.role1Phys(frame)
+	for i := 0; i < len(h.Targets); i++ {
+		idx := (start + i) % len(h.Targets)
+		if h.Alive == nil || h.Alive[idx] == nil || h.Alive[idx]() {
+			return h.Targets[idx]
+		}
+	}
+	return nil
+}
+
+// runSink accepts results forever.
+func (h *Host) runSink(p *sim.Proc) {
+	for {
+		msg, err := h.sinkPort.Recv(p)
+		if err != nil {
+			return
+		}
+		r := Result{Frame: msg.Frame, At: p.Now(), From: msg.From, Payload: msg.Payload}
+		h.Results = append(h.Results, r)
+		if h.OnResult != nil {
+			h.OnResult(r)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"dvsim/internal/atr"
+	"dvsim/internal/cpu"
+	"dvsim/internal/serial"
+	"dvsim/internal/sim"
+)
+
+// Role is one stage of the pipeline: which ATR blocks to run, at which
+// operating points. Roles are global to the pipeline; node rotation moves
+// nodes between roles without changing the roles themselves.
+type Role struct {
+	// Index is the 1-based pipeline position.
+	Index int
+	// Span is the contiguous block range this stage computes.
+	Span atr.Span
+	// Compute is the operating point for PROC.
+	Compute cpu.OperatingPoint
+	// Comm is the operating point for RECV/SEND; equal to Compute
+	// unless DVS-during-I/O is enabled (§5.2).
+	Comm cpu.OperatingPoint
+	// Idle is the operating point while blocked with nothing to do; the
+	// zero value falls back to Comm (the paper's workloads have no idle
+	// time, so the distinction only matters for low-duty-cycle studies).
+	Idle cpu.OperatingPoint
+}
+
+// IdlePoint returns the role's idle operating point (Comm when unset).
+func (r Role) IdlePoint() cpu.OperatingPoint {
+	if r.Idle == (cpu.OperatingPoint{}) {
+		return r.Comm
+	}
+	return r.Idle
+}
+
+// Config is the pipeline-wide behavior shared by all nodes.
+type Config struct {
+	Prof atr.Profile
+	// D is the frame delay (§4.5).
+	D float64
+	// NoIO runs the paper's 0A/0B mode: frames come from local storage,
+	// no communication at all.
+	NoIO bool
+	// RotationPeriod > 1 enables node rotation every that many frames
+	// (§5.5). It must be at least the pipeline depth: each rotation
+	// takes one slot per role to propagate down the ring.
+	RotationPeriod int
+	// Ack enables the power-failure recovery protocol (§5.4): internode
+	// transfers are acknowledged, timeouts detect dead peers, and the
+	// survivor absorbs the failed node's span. Supported for two-node
+	// pipelines, the configuration the paper evaluates.
+	Ack bool
+	// AckTimeoutS is how long a sender waits for an acknowledgment (and
+	// the slack added to receive deadlines) before declaring its peer
+	// dead.
+	AckTimeoutS float64
+	// Exec, when non-nil, runs the real computation for a stage: it maps
+	// the inbound payload to the outbound payload (e.g. via
+	// atr.Pipeline.ApplySpan). Execution timing still follows the
+	// profile — the simulation models the SA-1100's speed, not the host
+	// machine's — but the data genuinely flows through the pipeline.
+	Exec func(span atr.Span, in any) any
+}
+
+// Node is one Itsy computer in the pipeline.
+type Node struct {
+	Name string
+
+	k     *sim.Kernel
+	net   *serial.Network
+	port  *serial.Port
+	power *Power
+	cfg   Config
+
+	roles   []Role // this node's copy of the pipeline roles
+	roleIdx int    // current role (0-based index into roles)
+	phys    int    // physical position in the ring, 0-based
+
+	// ring[i] is the physical node at position i; set by Wire.
+	ring []*Node
+	// hostSink is where final results go.
+	hostSink *serial.Port
+
+	// carry marks data kept across a rotation (the "input data already
+	// available" of §5.5), tagged with its frame number.
+	carry *carriedFrame
+
+	proc *sim.Proc
+
+	// Stats.
+	FramesProcessed int // PROC executions completed
+	ResultsSent     int // final results delivered to the host
+	Rotations       int
+	Migrations      int
+	DeadAt          sim.Time // battery exhaustion time; 0 if alive
+	peerDead        []bool   // detected failures, by physical index
+}
+
+type carriedFrame struct {
+	frame   int
+	payload any
+}
+
+// New creates a node at physical ring position phys. Wire must be called
+// before Start.
+func New(k *sim.Kernel, net *serial.Network, pw *Power, cfg Config, roles []Role, phys int) *Node {
+	if cfg.RotationPeriod > 1 && cfg.RotationPeriod < len(roles) {
+		// A rotation takes one pipeline slot per role to propagate
+		// (Fig 9); a shorter period would overlap transitions and strand
+		// frames mid-pipeline.
+		panic(fmt.Sprintf("node: rotation period %d shorter than pipeline depth %d",
+			cfg.RotationPeriod, len(roles)))
+	}
+	name := fmt.Sprintf("node%d", phys+1)
+	own := make([]Role, len(roles))
+	copy(own, roles)
+	return &Node{
+		Name:  name,
+		k:     k,
+		net:   net,
+		port:  net.Port(name),
+		power: pw,
+		cfg:   cfg,
+		roles: own,
+		// Initially physical position i holds role i+1.
+		roleIdx: phys,
+		phys:    phys,
+	}
+}
+
+// Wire connects the node to the pipeline ring and the host sink port.
+func (n *Node) Wire(ring []*Node, hostSink *serial.Port) {
+	n.ring = ring
+	n.hostSink = hostSink
+	n.peerDead = make([]bool, len(ring))
+}
+
+// Port returns the node's serial port.
+func (n *Node) Port() *serial.Port { return n.port }
+
+// Power returns the node's power meter.
+func (n *Node) Power() *Power { return n.power }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return n.roles[n.roleIdx] }
+
+// Dead reports whether the node's battery is exhausted.
+func (n *Node) Dead() bool { return n.power.Dead() }
+
+// Proc returns the node's simulation process (nil before Start).
+func (n *Node) Proc() *sim.Proc { return n.proc }
+
+// Start spawns the node's process. Battery death interrupts it at the
+// exact exhaustion instant.
+func (n *Node) Start() *sim.Proc {
+	n.power.OnDeath = func() {
+		n.DeadAt = n.k.Now()
+		if n.proc != nil && !n.proc.Done() {
+			n.proc.Interrupt("battery exhausted")
+		}
+	}
+	n.proc = n.k.Spawn(n.Name, n.run)
+	return n.proc
+}
+
+// upstreamPhys / downstreamPhys are the ring neighbors.
+func (n *Node) upstreamPhys() int   { return (n.phys - 1 + len(n.ring)) % len(n.ring) }
+func (n *Node) downstreamPhys() int { return (n.phys + 1) % len(n.ring) }
+
+// run is the node's frame loop.
+func (n *Node) run(p *sim.Proc) {
+	defer n.power.Finish()
+	if n.cfg.NoIO {
+		n.runNoIO(p)
+		return
+	}
+	for {
+		frame, payload, ok := n.obtainInput(p)
+		if !ok {
+			return
+		}
+		var out any
+		if !n.process(p, n.Role().Span, n.Role().Compute, payload, &out) {
+			return
+		}
+		n.FramesProcessed++
+
+		// Rotation trigger (§5.5): the node holding role r rotates after
+		// processing frame f with (f + r) ≡ 0 (mod R). Since role r works
+		// on frame I − (r−1) when role 1 works on I, every role triggers
+		// in the same pipeline slot, which is what lets the carried data
+		// replace the eliminated SEND/RECV pair.
+		rotating := n.cfg.RotationPeriod > 1 && len(n.roles) > 1 &&
+			(frame+n.Role().Index)%n.cfg.RotationPeriod == 0
+		last := n.Role().Index == len(n.roles)
+
+		if rotating && !last {
+			// §5.5: keep the result, become the next role, continue
+			// computing on the data already in memory. The eliminated
+			// SEND/RECV pair pays for the reconfiguration.
+			n.carry = &carriedFrame{frame: frame, payload: out}
+			n.roleIdx = (n.roleIdx + 1) % len(n.roles)
+			n.Rotations++
+			n.idle()
+			continue
+		}
+		ok, migratedFrame := n.sendOutput(p, frame, out)
+		if !ok {
+			return
+		}
+		if n.Role().Index == len(n.roles) && !migratedFrame {
+			n.ResultsSent++
+		}
+		if rotating && last {
+			// The last node becomes the first (§5.5): next iteration it
+			// receives a fresh frame from the host.
+			n.roleIdx = (n.roleIdx + 1) % len(n.roles)
+			n.Rotations++
+		}
+		n.idle()
+	}
+}
+
+// runNoIO is the 0A/0B loop: back-to-back whole-algorithm computation.
+func (n *Node) runNoIO(p *sim.Proc) {
+	var sink any
+	for {
+		if !n.process(p, n.Role().Span, n.Role().Compute, nil, &sink) {
+			return
+		}
+		n.FramesProcessed++
+	}
+}
+
+// obtainInput produces the frame number to work on: carried data after a
+// rotation, or a receive from upstream (host for role 1, ring predecessor
+// otherwise). ok is false when the node should stop (death).
+func (n *Node) obtainInput(p *sim.Proc) (frame int, payload any, ok bool) {
+	if n.carry != nil {
+		frame, payload = n.carry.frame, n.carry.payload
+		n.carry = nil
+		return frame, payload, true
+	}
+	for {
+		n.idle() // blocked waiting is idle time
+		msg, err := n.port.RecvOpts(p, serial.RxOpts{
+			Deadline: n.recvDeadline(p),
+			Match:    n.acceptKind,
+			OnStart:  n.commStart,
+		})
+		n.idle()
+		switch {
+		case err == nil:
+			if n.cfg.Ack && msg.Kind == serial.KindInter {
+				// Acknowledge the transfer (§5.4).
+				src := n.ring[n.upstreamPhys()]
+				err := n.port.SendOpts(p, src.Port(), serial.Message{
+					Kind: serial.KindAck, Frame: msg.Frame,
+				}, serial.TxOpts{OnStart: n.commStart})
+				n.idle()
+				if err != nil {
+					return 0, nil, false
+				}
+			}
+			return msg.Frame, msg.Payload, true
+		case errors.Is(err, sim.ErrTimeout):
+			// Upstream is dead: absorb its span and continue (§5.4).
+			if _, ok := n.migrateFrom(p, n.upstreamPhys()); !ok {
+				return 0, nil, false
+			}
+		default:
+			return 0, nil, false // interrupted: battery death or shutdown
+		}
+	}
+}
+
+// recvDeadline is the failure-detection deadline for inbound data: only
+// recovery-enabled interior stages time out.
+func (n *Node) recvDeadline(p *sim.Proc) sim.Time {
+	if n.cfg.Ack && n.Role().Index > 1 {
+		// Upstream should deliver within about one frame period; allow
+		// generous slack for pipeline jitter.
+		return p.Now() + sim.Time(2*n.cfg.D+n.cfg.AckTimeoutS)
+	}
+	return sim.Infinity
+}
+
+// acceptKind filters the node's inbound port traffic to the data messages
+// its role expects; acks are consumed explicitly by sendOutput.
+func (n *Node) acceptKind(m serial.Message) bool {
+	if n.Role().Index == 1 {
+		return m.Kind == serial.KindFrame
+	}
+	return m.Kind == serial.KindInter
+}
+
+// process runs the span's computation at the given point, applying the
+// native stage function to the payload when one is configured. ok is
+// false on interruption (death).
+func (n *Node) process(p *sim.Proc, span atr.Span, at cpu.OperatingPoint, in any, out *any) bool {
+	n.power.Transition(cpu.Compute, at)
+	work := cpu.ScaledTime(n.cfg.Prof.RefSeconds(span), at)
+	if err := p.Wait(sim.Duration(work)); err != nil {
+		return false
+	}
+	if n.cfg.Exec != nil {
+		*out = n.cfg.Exec(span, in)
+	}
+	n.idle()
+	return true
+}
+
+// sendOutput ships the span's product downstream: the final result to the
+// host for the last role, the intermediate payload to the ring successor
+// otherwise. With Ack enabled, internode sends wait for the ack and treat
+// a timeout as peer death, migrating the dead peer's span here and
+// finishing the current frame locally. migrated reports that path (the
+// frame's result was counted inside the recursive completion).
+func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, migrated bool) {
+	role := n.Role()
+	if role.Index == len(n.roles) {
+		err := n.port.SendOpts(p, n.hostSink, serial.Message{
+			Kind: serial.KindResult, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload,
+		}, serial.TxOpts{OnStart: n.commStart})
+		n.idle()
+		return err == nil, false
+	}
+	dst := n.ring[n.downstreamPhys()]
+	msg := serial.Message{Kind: serial.KindInter, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload}
+	if !n.cfg.Ack {
+		err := n.port.SendOpts(p, dst.Port(), msg, serial.TxOpts{OnStart: n.commStart})
+		n.idle()
+		return err == nil, false
+	}
+	// Recovery protocol: deliver, then await the ack.
+	deadline := p.Now() + sim.Time(n.cfg.D+n.cfg.AckTimeoutS)
+	err := n.port.SendOpts(p, dst.Port(), msg, serial.TxOpts{Deadline: deadline, OnStart: n.commStart})
+	n.idle()
+	if err == nil {
+		ackDeadline := p.Now() + sim.Time(n.cfg.AckTimeoutS)
+		_, err = n.port.RecvOpts(p, serial.RxOpts{
+			Deadline: ackDeadline,
+			Match:    func(m serial.Message) bool { return m.Kind == serial.KindAck },
+			OnStart:  n.commStart,
+		})
+		n.idle()
+	}
+	switch {
+	case err == nil:
+		return true, false
+	case errors.Is(err, sim.ErrTimeout):
+		// Downstream is dead: absorb its span, finish this frame's
+		// remaining blocks locally, and deliver the result (§5.4/§6.6).
+		absorbed, ok := n.migrateFrom(p, n.downstreamPhys())
+		if !ok {
+			return false, false
+		}
+		var out any
+		if !n.process(p, absorbed, n.Role().Compute, payload, &out) {
+			return false, false
+		}
+		ok, _ = n.sendOutput(p, frame, out)
+		if ok {
+			n.ResultsSent++
+		}
+		return ok, true
+	default:
+		return false, false
+	}
+}
+
+// migrateFrom absorbs the span of the dead physical peer into this node's
+// role (§5.4). After migration the survivor runs the merged span as a
+// single-stage pipeline at full clock — with both communication legs plus
+// the enlarged span there is no DVS headroom left, which is how §6.6 runs
+// the surviving node. Migration is defined for two-node pipelines (the
+// paper's experiment); with everyone else dead, ok is false and the node
+// stops.
+func (n *Node) migrateFrom(p *sim.Proc, deadPhys int) (absorbed atr.Span, ok bool) {
+	if deadPhys == n.phys || n.peerDead[deadPhys] || len(n.ring) != 2 {
+		return atr.Span{}, false
+	}
+	dead := n.ring[deadPhys]
+	n.peerDead[deadPhys] = true
+	myRole := n.Role()
+	deadRole := dead.Role()
+	var merged atr.Span
+	switch {
+	case deadRole.Span.Last+1 == myRole.Span.First:
+		merged = atr.Span{First: deadRole.Span.First, Last: myRole.Span.Last}
+	case myRole.Span.Last+1 == deadRole.Span.First:
+		merged = atr.Span{First: myRole.Span.First, Last: deadRole.Span.Last}
+	default:
+		return atr.Span{}, false
+	}
+	// The survivor continues in the baseline configuration — full clock
+	// for both computation and I/O. §6.6 observes that keeping the
+	// system alive through recovery "must be supported with additional,
+	// expensive energy consumption", and the paper's survivor frame
+	// count (≈5K on the remaining charge) matches baseline operation,
+	// not DVS-during-I/O operation.
+	n.roles = []Role{{
+		Index:   1,
+		Span:    merged,
+		Compute: cpu.MaxPoint,
+		Comm:    cpu.MaxPoint,
+	}}
+	n.roleIdx = 0
+	n.Migrations++
+	return deadRole.Span, true
+}
+
+// commStart switches to communication mode at the role's comm point; the
+// serial layer invokes it at the instant a transfer actually begins.
+func (n *Node) commStart() {
+	n.power.Transition(cpu.Comm, n.Role().Comm)
+}
+
+// idle switches to idle mode at the role's idle point.
+func (n *Node) idle() {
+	n.power.Transition(cpu.Idle, n.Role().IdlePoint())
+}

@@ -1,0 +1,164 @@
+// Package node implements the runtime of one Itsy node in the distributed
+// pipeline: exact battery accounting over CPU mode transitions, the
+// RECV → PROC → SEND frame loop (§3), per-node DVS policy (fixed clock or
+// DVS-during-I/O), pipeline role reconfiguration (node rotation, §5.5) and
+// failure detection/migration (power-failure recovery, §5.4).
+package node
+
+import (
+	"math"
+
+	"dvsim/internal/battery"
+	"dvsim/internal/cpu"
+	"dvsim/internal/sim"
+)
+
+// Power meters a node's battery against its CPU activity. Every mode or
+// operating-point transition drains the battery for the elapsed segment
+// at the previous current and re-predicts the exact death instant, so
+// battery exhaustion lands on the simulation timeline with closed-form
+// precision rather than at a polling boundary.
+type Power struct {
+	k   *sim.Kernel
+	cpu *cpu.CPU
+	bat battery.Model
+
+	lastT sim.Time
+	death *sim.Event
+	dead  bool
+
+	// OnDeath is invoked exactly once, at the instant the battery
+	// empties. It typically interrupts the node's process.
+	OnDeath func()
+
+	// Accounting per mode (seconds and mA·s at the battery).
+	modeTime   map[cpu.Mode]float64
+	modeCharge map[cpu.Mode]float64
+
+	// traceOn records every constant-power span, for timeline figures.
+	traceOn bool
+	trace   []ModeSpan
+}
+
+// ModeSpan is one constant-mode, constant-point span of a node's
+// activity, the raw material of the paper's timing-vs-power diagrams
+// (Figs 2, 3 and 9).
+type ModeSpan struct {
+	Mode  cpu.Mode
+	Op    cpu.OperatingPoint
+	Start sim.Time
+	End   sim.Time
+}
+
+// NewPower starts metering: the battery begins draining at the CPU's
+// current mode and operating point from the kernel's present time.
+func NewPower(k *sim.Kernel, c *cpu.CPU, bat battery.Model) *Power {
+	pw := &Power{
+		k: k, cpu: c, bat: bat,
+		lastT:      k.Now(),
+		modeTime:   make(map[cpu.Mode]float64),
+		modeCharge: make(map[cpu.Mode]float64),
+	}
+	pw.arm()
+	return pw
+}
+
+// Battery exposes the metered battery.
+func (pw *Power) Battery() battery.Model { return pw.bat }
+
+// CPU exposes the metered processor.
+func (pw *Power) CPU() *cpu.CPU { return pw.cpu }
+
+// Dead reports whether the battery has emptied.
+func (pw *Power) Dead() bool { return pw.dead }
+
+// ModeSeconds returns the accumulated time in mode m.
+func (pw *Power) ModeSeconds(m cpu.Mode) float64 { return pw.modeTime[m] }
+
+// ModeMAh returns the charge drawn in mode m, in mAh.
+func (pw *Power) ModeMAh(m cpu.Mode) float64 { return pw.modeCharge[m] / 3600 }
+
+// EnableTrace starts recording mode spans (see Trace).
+func (pw *Power) EnableTrace() { pw.traceOn = true }
+
+// Trace returns the recorded spans.
+func (pw *Power) Trace() []ModeSpan { return pw.trace }
+
+// settle drains the battery for the segment since the last transition.
+func (pw *Power) settle() {
+	now := pw.k.Now()
+	dt := float64(now - pw.lastT)
+	pw.lastT = now
+	if dt <= 0 || pw.dead {
+		return
+	}
+	i := pw.cpu.CurrentMA()
+	ran := pw.bat.Drain(i, dt)
+	pw.modeTime[pw.cpu.Mode()] += ran
+	pw.modeCharge[pw.cpu.Mode()] += i * ran
+	if pw.traceOn {
+		start := now - sim.Time(dt)
+		pw.trace = append(pw.trace, ModeSpan{
+			Mode:  pw.cpu.Mode(),
+			Op:    pw.cpu.Point(),
+			Start: start,
+			End:   start + sim.Time(ran),
+		})
+	}
+	if ran < dt-1e-12 || pw.bat.Empty() {
+		// Should coincide with the armed death event; fire the state
+		// change here to be safe against float drift.
+		pw.die()
+	}
+}
+
+// arm schedules the death event for the present draw.
+func (pw *Power) arm() {
+	if pw.death != nil {
+		pw.k.Cancel(pw.death)
+		pw.death = nil
+	}
+	if pw.dead {
+		return
+	}
+	tte := pw.bat.TimeToEmpty(pw.cpu.CurrentMA())
+	if math.IsInf(tte, 1) {
+		return
+	}
+	pw.death = pw.k.After(sim.Duration(tte), func() {
+		pw.settle()
+		pw.die()
+	})
+}
+
+func (pw *Power) die() {
+	if pw.dead {
+		return
+	}
+	pw.dead = true
+	if pw.death != nil {
+		pw.k.Cancel(pw.death)
+		pw.death = nil
+	}
+	if pw.OnDeath != nil {
+		pw.OnDeath()
+	}
+}
+
+// Transition switches the CPU to mode m at operating point op, settling
+// the battery for the segment just ended and re-arming the death event.
+func (pw *Power) Transition(m cpu.Mode, op cpu.OperatingPoint) {
+	pw.settle()
+	pw.cpu.SetMode(m)
+	pw.cpu.SetPoint(op)
+	pw.arm()
+}
+
+// Finish settles any outstanding segment (call at the end of a run).
+func (pw *Power) Finish() {
+	pw.settle()
+	if pw.death != nil {
+		pw.k.Cancel(pw.death)
+		pw.death = nil
+	}
+}

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"dvsim/internal/core"
+)
+
+// CSV renders a suite's outcomes as machine-readable CSV (one row per
+// node, experiment-level values repeated), for downstream plotting.
+func CSV(outs []core.Outcome) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{
+		"exp", "label", "nodes", "frames", "battery_life_h", "paper_h",
+		"tnorm_h", "rnorm", "node", "died_at_h", "frames_processed",
+		"results_sent", "rotations", "migrations", "delivered_mah",
+		"final_soc", "idle_s", "comm_s", "compute_s",
+	})
+	for _, o := range outs {
+		for _, ns := range o.NodeStats {
+			_ = w.Write([]string{
+				string(o.ID), o.Label,
+				fmt.Sprint(o.Nodes), fmt.Sprint(o.Frames),
+				fmt.Sprintf("%.4f", o.BatteryLifeH),
+				fmt.Sprintf("%.4f", core.PaperHours(o.ID)),
+				fmt.Sprintf("%.4f", o.TnormH),
+				fmt.Sprintf("%.4f", o.Rnorm),
+				ns.Name,
+				fmt.Sprintf("%.4f", ns.DiedAtH),
+				fmt.Sprint(ns.FramesProcessed),
+				fmt.Sprint(ns.ResultsSent),
+				fmt.Sprint(ns.Rotations),
+				fmt.Sprint(ns.Migrations),
+				fmt.Sprintf("%.2f", ns.DeliveredMAh),
+				fmt.Sprintf("%.4f", ns.FinalSoC),
+				fmt.Sprintf("%.1f", ns.IdleS),
+				fmt.Sprintf("%.1f", ns.CommS),
+				fmt.Sprintf("%.1f", ns.ComputeS),
+			})
+		}
+	}
+	w.Flush()
+	return b.String()
+}

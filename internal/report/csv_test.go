@@ -1,0 +1,49 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"dvsim/internal/core"
+)
+
+func TestCSVRoundTrips(t *testing.T) {
+	outs := []core.Outcome{
+		{
+			ID: core.Exp1, Label: "Baseline", Nodes: 1, Frames: 9600,
+			BatteryLifeH: 6.13, TnormH: 6.13, Rnorm: 1,
+			NodeStats: []core.NodeStat{{
+				Name: "node1", DiedAtH: 6.13, FramesProcessed: 9600,
+				ResultsSent: 9600, DeliveredMAh: 733.6, FinalSoC: 0.13,
+				IdleS: 0, CommS: 11514, ComputeS: 10554,
+			}},
+		},
+		{
+			ID: core.Exp2C, Label: "Rotation", Nodes: 2, Frames: 25000,
+			BatteryLifeH: 16, TnormH: 8, Rnorm: 1.31,
+			NodeStats: []core.NodeStat{
+				{Name: "node1", Rotations: 253},
+				{Name: "node2", Rotations: 253},
+			},
+		},
+	}
+	out := CSV(outs)
+	r := csv.NewReader(strings.NewReader(out))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 1 + 2 node rows
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][0] != "exp" || len(rows[0]) != 19 {
+		t.Fatalf("header: %v", rows[0])
+	}
+	if rows[1][0] != "1" || rows[1][8] != "node1" || rows[1][4] != "6.1300" {
+		t.Fatalf("row 1: %v", rows[1])
+	}
+	if rows[3][0] != "2C" || rows[3][12] != "253" {
+		t.Fatalf("row 3: %v", rows[3])
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"dvsim/internal/battery"
+)
+
+// DischargePlot renders terminal-voltage-vs-time curves for one or more
+// constant-current discharges of the given battery factory, as an ASCII
+// plot — the view the Itsy's on-board power monitor would give of the
+// calibrated pack.
+func DischargePlot(mk func() battery.Model, vm battery.VoltageModel, currentsMA []float64, width, height int) string {
+	if width < 10 || height < 4 {
+		return ""
+	}
+	type curve struct {
+		i            float64
+		times, volts []float64
+	}
+	var curves []curve
+	maxT := 0.0
+	for _, i := range currentsMA {
+		b := mk()
+		// Sample at 1/400 of the expected lifetime for smooth curves.
+		tte := b.TimeToEmpty(i)
+		step := tte / 400
+		if step <= 0 {
+			continue
+		}
+		times, volts := battery.DischargeCurve(b, vm, i, step)
+		if len(times) == 0 {
+			continue
+		}
+		curves = append(curves, curve{i, times, volts})
+		if last := times[len(times)-1]; last > maxT {
+			maxT = last
+		}
+	}
+	if maxT == 0 {
+		return ""
+	}
+
+	vLo, vHi := vm.CutoffV-0.05, vm.FullV
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "123456789"
+	for ci, c := range curves {
+		mark := marks[ci%len(marks)]
+		for k, t := range c.times {
+			x := int(t / maxT * float64(width-1))
+			v := c.volts[k]
+			y := int((vHi - v) / (vHi - vLo) * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "terminal voltage under constant discharge (cutoff %.2f V)\n", vm.CutoffV)
+	for y, row := range grid {
+		v := vHi - (vHi-vLo)*float64(y)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2fV |%s\n", v, string(row))
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        0%*s\n", width-1, fmt.Sprintf("%.1f h", maxT/3600))
+	for ci, c := range curves {
+		fmt.Fprintf(&b, "        %c = %.0f mA (dies %.2f h)\n", marks[ci%len(marks)], c.i, c.times[len(c.times)-1]/3600)
+	}
+	return b.String()
+}

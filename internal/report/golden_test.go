@@ -1,0 +1,64 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dvsim/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Golden files pin the exact rendered figures so any
+// drift in the calibrated reproduction is caught immediately.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenFig6(t *testing.T) {
+	p := core.DefaultParams()
+	checkGolden(t, "fig6", Fig6(p.Profile, p.Link))
+}
+
+func TestGoldenFig7(t *testing.T) {
+	p := core.DefaultParams()
+	checkGolden(t, "fig7", Fig7(p.Power))
+}
+
+func TestGoldenFig8(t *testing.T) {
+	checkGolden(t, "fig8", Fig8(core.DefaultParams()))
+}
+
+func TestGoldenTimelineBaseline(t *testing.T) {
+	p := core.DefaultParams()
+	tr := core.RunTraced(core.Exp1, p, 3*p.FrameDelayS)
+	checkGolden(t, "timeline_fig2", Timeline([]string{"node1"}, tr, 0, 3*p.FrameDelayS, 69))
+}
+
+func TestGoldenCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	outs := core.RunSuiteParallel(core.AllExperiments, core.DefaultParams(), 0)
+	checkGolden(t, "compare", Compare(outs))
+}

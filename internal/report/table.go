@@ -1,0 +1,88 @@
+// Package report renders the paper's tables and figures as text: the
+// performance profile (Fig 6), the power profile (Fig 7), the
+// partitioning schemes (Fig 8), the experiment summary bar chart
+// (Fig 10), a paper-vs-measured comparison table, and the
+// timing-vs-power diagrams (Figs 2, 3 and 9) as mode timelines.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with a header underline.
+func (t *Table) String() string {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len([]rune(c)) > width[i] {
+				width[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, width[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(width)-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := w - len([]rune(s))
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}
+
+// Bar renders a horizontal bar of the value scaled so that max fills
+// width runes.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value/max*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EDF execution of a job set under a speed profile, used to verify that a
+// schedule (e.g. a YDS output, or a quantized version of it) actually
+// meets every deadline.
+
+// Execution records one job's simulated completion.
+type Execution struct {
+	Job      string
+	Finish   float64
+	Deadline float64
+	Met      bool
+}
+
+// RunEDF simulates earliest-deadline-first execution of jobs under the
+// speed profile and reports per-job completion. The profile's idle gaps
+// are honored (no work proceeds there). Jobs are preempted at segment
+// boundaries and arrivals.
+func RunEDF(jobs []Job, segs []Segment) []Execution {
+	type state struct {
+		j    Job
+		left float64
+		done float64 // finish time
+		last float64 // last instant the job ran (for residuals within tolerance)
+	}
+	pending := make([]*state, 0, len(jobs))
+	for _, j := range jobs {
+		pending = append(pending, &state{j: j, left: j.Work, done: math.NaN()})
+	}
+	// Event times: arrivals and segment boundaries.
+	var times []float64
+	for _, j := range jobs {
+		times = append(times, j.Arrival)
+	}
+	for _, s := range segs {
+		times = append(times, s.Start, s.End)
+	}
+	sort.Float64s(times)
+	times = dedup(times)
+
+	for i := 0; i+1 <= len(times); i++ {
+		t := times[i]
+		end := math.Inf(1)
+		if i+1 < len(times) {
+			end = times[i+1]
+		}
+		// Within [t, end) the speed is constant and the ready set fixed
+		// except for completions, which we step through.
+		for t < end {
+			speed := SpeedAt(segs, t)
+			// Pick the ready job with the earliest deadline.
+			var cur *state
+			for _, st := range pending {
+				if st.left <= 0 || st.j.Arrival > t+1e-15 {
+					continue
+				}
+				if cur == nil || st.j.Deadline < cur.j.Deadline {
+					cur = st
+				}
+			}
+			if cur == nil || speed <= 0 {
+				break // idle until the next event
+			}
+			need := cur.left / speed
+			if t+need <= end+1e-15 {
+				t += need
+				cur.left = 0
+				cur.done = t
+				cur.last = t
+			} else {
+				cur.left -= (end - t) * speed
+				cur.last = end
+				if cur.left <= 1e-9*(1+cur.j.Work) {
+					// Floating-point residual: the work was, to within
+					// tolerance, completed by the end of this span.
+					cur.left = 0
+					cur.done = end
+				}
+				t = end
+			}
+		}
+	}
+
+	out := make([]Execution, 0, len(jobs))
+	for _, st := range pending {
+		e := Execution{Job: st.j.Name, Deadline: st.j.Deadline}
+		if st.left <= 1e-9 {
+			if math.IsNaN(st.done) {
+				// Finished to within tolerance at the last worked instant.
+				st.done = st.last
+			}
+			e.Finish = st.done
+			e.Met = st.done <= st.j.Deadline+1e-9
+		} else {
+			e.Finish = math.Inf(1)
+			e.Met = st.j.Work == 0
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// AllMet reports whether every execution met its deadline.
+func AllMet(execs []Execution) bool {
+	for _, e := range execs {
+		if !e.Met {
+			return false
+		}
+	}
+	return true
+}
+
+// FeasibleEDF checks deadline feasibility of the job set at constant
+// speed 1 (the classical EDF demand-bound test, evaluated by simulation).
+func FeasibleEDF(jobs []Job) bool {
+	if len(jobs) == 0 {
+		return true
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, j := range jobs {
+		lo = math.Min(lo, j.Arrival)
+		hi = math.Max(hi, j.Deadline)
+	}
+	return AllMet(RunEDF(jobs, []Segment{{Start: lo, End: hi, Speed: 1}}))
+}
+
+func dedup(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Quantize maps each segment's ideal speed up to the nearest level in the
+// ascending list levels (relative speeds), the way a discrete-DVS part
+// like the SA-1100 must. It returns an error naming the first segment
+// whose speed exceeds the top level.
+func Quantize(segs []Segment, levels []float64) ([]Segment, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("sched: no levels")
+	}
+	if !sort.Float64sAreSorted(levels) {
+		return nil, fmt.Errorf("sched: levels not ascending")
+	}
+	out := make([]Segment, len(segs))
+	for i, s := range segs {
+		idx := sort.SearchFloat64s(levels, s.Speed-1e-12)
+		if idx == len(levels) {
+			return nil, fmt.Errorf("sched: segment [%v, %v] needs speed %v above top level %v",
+				s.Start, s.End, s.Speed, levels[len(levels)-1])
+		}
+		out[i] = Segment{Start: s.Start, End: s.End, Speed: levels[idx]}
+	}
+	return mergeAdjacent(out), nil
+}

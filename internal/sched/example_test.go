@@ -1,0 +1,54 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"dvsim/internal/sched"
+)
+
+// The YDS optimal speed schedule for a dense job inside a sparse one: the
+// dense window becomes the critical interval at high speed; the rest runs
+// slow.
+func ExampleYDS() {
+	jobs := []sched.Job{
+		{Name: "outer", Arrival: 0, Deadline: 10, Work: 4},
+		{Name: "inner", Arrival: 4, Deadline: 6, Work: 3},
+	}
+	segs, _ := sched.YDS(jobs)
+	for _, s := range segs {
+		fmt.Printf("[%g, %g] speed %g\n", s.Start, s.End, s.Speed)
+	}
+	// Output:
+	// [0, 4] speed 0.5
+	// [4, 6] speed 1.5
+	// [6, 10] speed 0.5
+}
+
+// Buffering a bursty frame stream lowers the sustainable clock (Im et
+// al.): one 6-unit frame among 1-unit frames needs 3x speed unbuffered,
+// but under half that with two frames of buffer.
+func ExampleBufferedMinSpeed() {
+	works := []float64{1, 1, 6, 1, 1, 1}
+	fmt.Printf("unbuffered: %.2f\n", sched.BufferedMinSpeed(works, 2, 0))
+	fmt.Printf("buffer 2:   %.2f\n", sched.BufferedMinSpeed(works, 2, 2))
+	// Output:
+	// unbuffered: 3.00
+	// buffer 2:   1.00
+}
+
+// Intra-task slack reclamation (Shin et al.): when the first block
+// finishes early, the rest of the task slows down.
+func ExampleIntraTaskReclaim() {
+	wcet := []float64{1, 1, 1}
+	actual := []float64{0.2, 1, 1}
+	segs, ok := sched.IntraTaskReclaim(wcet, actual, 3)
+	fmt.Println("met deadline:", ok)
+	for _, s := range segs {
+		fmt.Printf("speed %.2f for %.2fs\n", s.Speed, s.Duration())
+	}
+	// Output:
+	// met deadline: true
+	// speed 1.00 for 0.20s
+	// speed 0.71 for 1.40s
+	// speed 0.71 for 1.40s
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online DVS heuristics from the paper's related work (§2): the Average
+// Rate heuristic of Yao et al., the buffer-based frame DVS of Im et
+// al. [4], and the intra-task slack reclamation of Shin et al. [8].
+
+// AVR computes the Average Rate heuristic profile: at every instant the
+// speed is the sum of the running densities w_i/(d_i − a_i) of all jobs
+// whose window contains the instant. AVR is online (each job contributes
+// from its arrival) and always feasible under EDF, at a bounded energy
+// penalty over the optimal YDS schedule.
+func AVR(jobs []Job) []Segment {
+	type edge struct {
+		t float64
+		d float64 // density delta
+	}
+	var edges []edge
+	for _, j := range jobs {
+		if j.Work <= 0 {
+			continue
+		}
+		if j.Deadline <= j.Arrival {
+			// Degenerate window: represent as an instant of infinite
+			// density; callers should have validated via YDS first.
+			continue
+		}
+		den := j.Work / (j.Deadline - j.Arrival)
+		edges = append(edges, edge{j.Arrival, den}, edge{j.Deadline, -den})
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+	var out []Segment
+	density := 0.0
+	prev := edges[0].t
+	for _, e := range edges {
+		if e.t > prev && density > 1e-15 {
+			out = append(out, Segment{Start: prev, End: e.t, Speed: density})
+		}
+		if e.t > prev {
+			prev = e.t
+		}
+		density += e.d
+	}
+	return mergeAdjacent(out)
+}
+
+// BufferedMinSpeed is the frame-buffering technique of Im et al.: frames
+// of work works[i] arrive every period seconds; an arrival buffer lets
+// frame i finish as late as (buffer+1) periods after its arrival instead
+// of one. The function returns the minimal constant speed meeting every
+// such deadline under FIFO processing — lower (quadratically cheaper)
+// than the per-frame worst-case speed whenever the workload varies.
+//
+// The closed form is the maximal window density: over every window of
+// consecutive frames i..j, the work must fit between frame i's arrival
+// and frame j's extended deadline.
+func BufferedMinSpeed(works []float64, period float64, buffer int) float64 {
+	if period <= 0 {
+		panic(fmt.Sprintf("sched: period %v", period))
+	}
+	if buffer < 0 {
+		panic(fmt.Sprintf("sched: buffer %v", buffer))
+	}
+	slack := float64(buffer+1) * period
+	best := 0.0
+	for i := range works {
+		var sum float64
+		for j := i; j < len(works); j++ {
+			sum += works[j]
+			window := float64(j-i)*period + slack
+			if s := sum / window; s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// SimulateBufferedFIFO checks BufferedMinSpeed's answer by simulation:
+// it runs the stream at the given speed and reports whether every frame
+// meets its extended deadline, plus the peak queue length (frames waiting
+// or in service when a new frame arrives).
+func SimulateBufferedFIFO(works []float64, period float64, buffer int, speed float64) (ok bool, peakQueue int) {
+	if speed <= 0 {
+		return len(works) == 0, 0
+	}
+	finish := math.Inf(-1)
+	type done struct{ at float64 }
+	var finished []done
+	queue := 0
+	ok = true
+	for i, w := range works {
+		arrive := float64(i) * period
+		// Count frames still unfinished at this arrival.
+		queue = 0
+		for j := 0; j < i; j++ {
+			if finished[j].at > arrive {
+				queue++
+			}
+		}
+		if queue+1 > peakQueue {
+			peakQueue = queue + 1
+		}
+		start := math.Max(arrive, finish)
+		finish = start + w/speed
+		finished = append(finished, done{finish})
+		if finish > arrive+float64(buffer+1)*period+1e-9 {
+			ok = false
+		}
+	}
+	return ok, peakQueue
+}
+
+// IntraTaskReclaim is the intra-task DVS of Shin et al.: a task is a
+// chain of blocks with worst-case execution times wcet (at reference
+// speed) sharing one deadline. The speed for each block is chosen so the
+// REMAINING worst case just fits the remaining time; when a block
+// finishes early (actual < wcet), the slack automatically lowers the
+// speed of the blocks after it. Returns the per-block execution segments
+// and whether the deadline was met (always, when actual ≤ wcet).
+func IntraTaskReclaim(wcet, actual []float64, deadline float64) ([]Segment, bool) {
+	if len(wcet) != len(actual) {
+		panic("sched: wcet/actual length mismatch")
+	}
+	var remainingWorst float64
+	for _, w := range wcet {
+		if w < 0 {
+			panic("sched: negative wcet")
+		}
+		remainingWorst += w
+	}
+	t := 0.0
+	out := make([]Segment, 0, len(wcet))
+	for k := range wcet {
+		budget := deadline - t
+		if budget <= 0 {
+			return out, false
+		}
+		speed := remainingWorst / budget
+		if speed <= 0 {
+			speed = 0
+		}
+		dur := 0.0
+		if actual[k] > 0 {
+			if speed <= 0 {
+				return out, false
+			}
+			dur = actual[k] / speed
+			out = append(out, Segment{Start: t, End: t + dur, Speed: speed})
+		}
+		t += dur
+		remainingWorst -= wcet[k]
+	}
+	return out, t <= deadline+1e-9
+}

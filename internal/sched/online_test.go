@@ -1,0 +1,261 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAVRSingleJob(t *testing.T) {
+	segs := AVR([]Job{{Arrival: 2, Deadline: 6, Work: 2}})
+	if len(segs) != 1 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	if !approx(segs[0].Speed, 0.5, 1e-12) || segs[0].Start != 2 || segs[0].End != 6 {
+		t.Fatalf("segment %+v", segs[0])
+	}
+}
+
+func TestAVRDensitiesAdd(t *testing.T) {
+	jobs := []Job{
+		{Arrival: 0, Deadline: 10, Work: 5}, // density 0.5
+		{Arrival: 2, Deadline: 6, Work: 2},  // density 0.5 over [2,6]
+	}
+	segs := AVR(jobs)
+	if got := SpeedAt(segs, 1); !approx(got, 0.5, 1e-12) {
+		t.Errorf("speed@1 = %v", got)
+	}
+	if got := SpeedAt(segs, 4); !approx(got, 1.0, 1e-12) {
+		t.Errorf("speed@4 = %v", got)
+	}
+	if got := SpeedAt(segs, 8); !approx(got, 0.5, 1e-12) {
+		t.Errorf("speed@8 = %v", got)
+	}
+}
+
+func TestAVREmptyAndDegenerate(t *testing.T) {
+	if AVR(nil) != nil {
+		t.Error("empty AVR")
+	}
+	if segs := AVR([]Job{{Arrival: 1, Deadline: 1, Work: 1}}); segs != nil {
+		t.Error("degenerate window produced segments")
+	}
+	if segs := AVR([]Job{{Arrival: 0, Deadline: 5, Work: 0}}); segs != nil {
+		t.Error("zero work produced segments")
+	}
+}
+
+// Property: the AVR profile meets every deadline under EDF and never uses
+// less energy than YDS (YDS is optimal).
+func TestPropertyAVRFeasibleAndAboveYDS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 1
+		jobs := make([]Job, n)
+		for i := range jobs {
+			a := rng.Float64() * 15
+			jobs[i] = Job{
+				Name:     string(rune('a' + i)),
+				Arrival:  a,
+				Deadline: a + 0.5 + rng.Float64()*8,
+				Work:     0.2 + rng.Float64()*2,
+			}
+		}
+		avr := AVR(jobs)
+		if !AllMet(RunEDF(jobs, avr)) {
+			return false
+		}
+		yds, err := YDS(jobs)
+		if err != nil {
+			return false
+		}
+		const alpha = 3
+		return Energy(avr, alpha) >= Energy(yds, alpha)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferedMinSpeedUniformStream(t *testing.T) {
+	// Uniform frames: buffering cannot beat the long-run rate w/D.
+	works := []float64{1, 1, 1, 1, 1, 1}
+	s0 := BufferedMinSpeed(works, 2, 0)
+	s3 := BufferedMinSpeed(works, 2, 3)
+	if !approx(s0, 0.5, 1e-12) {
+		t.Errorf("unbuffered speed %v, want 0.5", s0)
+	}
+	if s3 >= s0 {
+		t.Errorf("buffered speed %v not below unbuffered %v", s3, s0)
+	}
+	// But never below the sustained average of the stream interior.
+	if s3 < 6.0/(5*2+4*2) {
+		t.Errorf("buffered speed %v below any feasible rate", s3)
+	}
+}
+
+func TestBufferedMinSpeedBurstyStream(t *testing.T) {
+	// One heavy frame among light ones: buffer absorbs the burst.
+	works := []float64{1, 1, 6, 1, 1, 1}
+	unbuf := BufferedMinSpeed(works, 2, 0)
+	buf2 := BufferedMinSpeed(works, 2, 2)
+	if !approx(unbuf, 3.0, 1e-12) { // 6 work in one 2 s window
+		t.Errorf("unbuffered %v, want 3.0", unbuf)
+	}
+	if buf2 >= unbuf*0.51 {
+		t.Errorf("buffer 2 speed %v; expected less than half of %v", buf2, unbuf)
+	}
+	// Cubic energy at the lower speed must win even though the processor
+	// may run longer.
+	if buf2 <= 0 {
+		t.Fatal("zero speed")
+	}
+}
+
+func TestBufferedMinSpeedValidatedBySimulation(t *testing.T) {
+	works := []float64{0.5, 2.5, 0.2, 3.0, 0.4, 0.1, 1.8}
+	for _, buffer := range []int{0, 1, 2, 4} {
+		s := BufferedMinSpeed(works, 1.5, buffer)
+		ok, _ := SimulateBufferedFIFO(works, 1.5, buffer, s*(1+1e-9))
+		if !ok {
+			t.Errorf("buffer %d: speed %v misses deadlines in simulation", buffer, s)
+		}
+		// Slightly below the minimum must fail.
+		ok, _ = SimulateBufferedFIFO(works, 1.5, buffer, s*0.98)
+		if ok {
+			t.Errorf("buffer %d: speed %v not minimal", buffer, s)
+		}
+	}
+}
+
+func TestBufferedMinSpeedBadArgsPanic(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BufferedMinSpeed([]float64{1}, 0, 1) },
+		func() { BufferedMinSpeed([]float64{1}, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad args accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: buffered minimal speed is nonincreasing in buffer size and
+// the simulation confirms feasibility.
+func TestPropertyBufferedSpeedMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		works := make([]float64, n)
+		for i := range works {
+			works[i] = 0.1 + rng.Float64()*3
+		}
+		prev := math.Inf(1)
+		for buffer := 0; buffer <= 4; buffer++ {
+			s := BufferedMinSpeed(works, 1.7, buffer)
+			if s > prev+1e-12 {
+				return false
+			}
+			prev = s
+			if ok, _ := SimulateBufferedFIFO(works, 1.7, buffer, s*(1+1e-9)); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraTaskReclaimWorstCaseIsConstant(t *testing.T) {
+	// actual == wcet: no slack, constant speed Σw/deadline.
+	wcet := []float64{0.18, 0.19, 0.32, 0.53}
+	segs, ok := IntraTaskReclaim(wcet, wcet, 2.0)
+	if !ok {
+		t.Fatal("deadline missed with exact worst case")
+	}
+	want := (0.18 + 0.19 + 0.32 + 0.53) / 2.0
+	for _, s := range segs {
+		if !approx(s.Speed, want, 1e-9) {
+			t.Fatalf("speed %v, want constant %v", s.Speed, want)
+		}
+	}
+	end := segs[len(segs)-1].End
+	if !approx(end, 2.0, 1e-9) {
+		t.Fatalf("finished at %v, want exactly the deadline", end)
+	}
+}
+
+func TestIntraTaskReclaimSlackLowersLaterSpeeds(t *testing.T) {
+	wcet := []float64{1, 1, 1}
+	actual := []float64{0.2, 1, 1} // first block finishes early
+	segs, ok := IntraTaskReclaim(wcet, actual, 3)
+	if !ok {
+		t.Fatal("missed deadline")
+	}
+	if len(segs) != 3 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	if segs[1].Speed >= segs[0].Speed {
+		t.Fatalf("slack not reclaimed: speeds %v then %v", segs[0].Speed, segs[1].Speed)
+	}
+	// Energy with reclamation is below running the actuals at the
+	// initial worst-case speed.
+	naive := []Segment{{Start: 0, End: (0.2 + 1 + 1) / 1.0, Speed: 1.0}}
+	if Energy(segs, 3) >= Energy(naive, 3) {
+		t.Fatal("reclamation did not save energy")
+	}
+}
+
+func TestIntraTaskReclaimZeroActualBlocks(t *testing.T) {
+	segs, ok := IntraTaskReclaim([]float64{1, 1}, []float64{0, 1}, 4)
+	if !ok || len(segs) != 1 {
+		t.Fatalf("segments %v ok=%v", segs, ok)
+	}
+}
+
+func TestIntraTaskReclaimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	IntraTaskReclaim([]float64{1}, []float64{1, 2}, 3)
+}
+
+// Property: with actual ≤ wcet the deadline is always met and per-block
+// speeds never increase.
+func TestPropertyIntraTaskAlwaysMeetsDeadline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		wcet := make([]float64, n)
+		actual := make([]float64, n)
+		var total float64
+		for i := range wcet {
+			wcet[i] = 0.1 + rng.Float64()
+			actual[i] = wcet[i] * rng.Float64()
+			total += wcet[i]
+		}
+		deadline := total * (1 + rng.Float64())
+		segs, ok := IntraTaskReclaim(wcet, actual, deadline)
+		if !ok {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Speed > segs[i-1].Speed+1e-9 {
+				return false
+			}
+		}
+		return len(segs) == 0 || segs[len(segs)-1].End <= deadline+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

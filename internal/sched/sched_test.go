@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dvsim/internal/cpu"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestYDSSingleJobSpreadsWork(t *testing.T) {
+	segs, err := YDS([]Job{{Name: "j", Arrival: 0, Deadline: 10, Work: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	s := segs[0]
+	if !approx(s.Start, 0, 1e-12) || !approx(s.End, 10, 1e-12) || !approx(s.Speed, 0.5, 1e-12) {
+		t.Fatalf("segment %+v, want [0,10]@0.5", s)
+	}
+}
+
+func TestYDSEmptyAndZeroWork(t *testing.T) {
+	if segs, err := YDS(nil); err != nil || len(segs) != 0 {
+		t.Fatalf("empty: %v %v", segs, err)
+	}
+	segs, err := YDS([]Job{{Arrival: 0, Deadline: 5, Work: 0}})
+	if err != nil || len(segs) != 0 {
+		t.Fatalf("zero work: %v %v", segs, err)
+	}
+}
+
+func TestYDSClassicTextbookExample(t *testing.T) {
+	// A dense job inside a sparse one: the dense window forms the
+	// critical interval at a higher speed; the outer job gets the rest.
+	jobs := []Job{
+		{Name: "outer", Arrival: 0, Deadline: 10, Work: 4},
+		{Name: "inner", Arrival: 4, Deadline: 6, Work: 3},
+	}
+	segs, err := YDS(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical interval [4,6] at speed 1.5; outer runs in the remaining
+	// 8 seconds at 0.5.
+	if got := SpeedAt(segs, 5); !approx(got, 1.5, 1e-9) {
+		t.Fatalf("speed in critical interval %v, want 1.5", got)
+	}
+	if got := SpeedAt(segs, 1); !approx(got, 0.5, 1e-9) {
+		t.Fatalf("speed before %v, want 0.5", got)
+	}
+	if got := SpeedAt(segs, 9); !approx(got, 0.5, 1e-9) {
+		t.Fatalf("speed after %v, want 0.5", got)
+	}
+	if !approx(TotalWork(segs), 7, 1e-9) {
+		t.Fatalf("total work %v, want 7", TotalWork(segs))
+	}
+}
+
+func TestYDSDisjointJobsIndependent(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", Arrival: 0, Deadline: 2, Work: 1},   // 0.5
+		{Name: "b", Arrival: 10, Deadline: 12, Work: 2}, // 1.0
+	}
+	segs, err := YDS(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SpeedAt(segs, 1); !approx(got, 0.5, 1e-9) {
+		t.Fatalf("a speed %v", got)
+	}
+	if got := SpeedAt(segs, 11); !approx(got, 1.0, 1e-9) {
+		t.Fatalf("b speed %v", got)
+	}
+	if got := SpeedAt(segs, 5); got != 0 {
+		t.Fatalf("gap speed %v, want 0", got)
+	}
+}
+
+func TestYDSInfeasibleZeroWindow(t *testing.T) {
+	_, err := YDS([]Job{{Arrival: 3, Deadline: 3, Work: 1}})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestYDSRejectsBadJobs(t *testing.T) {
+	if _, err := YDS([]Job{{Arrival: 5, Deadline: 3, Work: 1}}); err == nil {
+		t.Error("deadline before arrival accepted")
+	}
+	if _, err := YDS([]Job{{Arrival: 0, Deadline: 3, Work: -1}}); err == nil {
+		t.Error("negative work accepted")
+	}
+}
+
+func TestYDSScheduleMeetsDeadlinesUnderEDF(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", Arrival: 0, Deadline: 10, Work: 3},
+		{Name: "b", Arrival: 2, Deadline: 5, Work: 2},
+		{Name: "c", Arrival: 4, Deadline: 12, Work: 1},
+		{Name: "d", Arrival: 6, Deadline: 8, Work: 1.5},
+	}
+	segs, err := YDS(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := RunEDF(jobs, segs)
+	if !AllMet(execs) {
+		t.Fatalf("YDS schedule missed deadlines: %+v", execs)
+	}
+}
+
+// Property: for random feasible-ish job sets, the YDS profile completes
+// exactly the total work, meets every deadline under EDF, and never idles
+// while work is pending inside any job window (work conservation).
+func TestPropertyYDSCorrectness(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		jobs := make([]Job, n)
+		var total float64
+		for i := range jobs {
+			a := rng.Float64() * 20
+			d := a + 0.5 + rng.Float64()*10
+			w := rng.Float64() * 3
+			jobs[i] = Job{Name: string(rune('a' + i)), Arrival: a, Deadline: d, Work: w}
+			total += w
+		}
+		segs, err := YDS(jobs)
+		if err != nil {
+			return false
+		}
+		if !approx(TotalWork(segs), total, 1e-6) {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start < segs[i-1].End-1e-12 {
+				return false // overlapping segments
+			}
+		}
+		return AllMet(RunEDF(jobs, segs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: YDS minimizes energy vs the naive single-speed schedule that
+// runs everything at the peak intensity over the whole horizon.
+func TestPropertyYDSBeatsConstantPeak(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		jobs := make([]Job, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range jobs {
+			a := rng.Float64() * 10
+			d := a + 1 + rng.Float64()*8
+			jobs[i] = Job{Arrival: a, Deadline: d, Work: 0.5 + rng.Float64()*2}
+			lo = math.Min(lo, a)
+			hi = math.Max(hi, d)
+		}
+		segs, err := YDS(jobs)
+		if err != nil {
+			return false
+		}
+		peak := PeakSpeed(segs)
+		naive := []Segment{{Start: lo, End: hi, Speed: peak}}
+		const alpha = 3
+		return Energy(segs, alpha) <= Energy(naive, alpha)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyConvexityReward(t *testing.T) {
+	// Halving speed over double time costs 4x less at alpha=3.
+	fast := []Segment{{0, 1, 1}}
+	slow := []Segment{{0, 2, 0.5}}
+	if r := Energy(fast, 3) / Energy(slow, 3); !approx(r, 4, 1e-9) {
+		t.Fatalf("energy ratio %v, want 4 (quadratic power scaling)", r)
+	}
+}
+
+func TestRunEDFIdleGapsRespected(t *testing.T) {
+	jobs := []Job{{Name: "late", Arrival: 0, Deadline: 10, Work: 1}}
+	// Profile only powers [5, 10].
+	segs := []Segment{{Start: 5, End: 10, Speed: 0.5}}
+	execs := RunEDF(jobs, segs)
+	if !execs[0].Met || !approx(execs[0].Finish, 7, 1e-9) {
+		t.Fatalf("exec %+v, want finish at 7", execs[0])
+	}
+}
+
+func TestRunEDFPreemptsByDeadline(t *testing.T) {
+	jobs := []Job{
+		{Name: "loose", Arrival: 0, Deadline: 20, Work: 5},
+		{Name: "tight", Arrival: 2, Deadline: 4, Work: 1},
+	}
+	segs := []Segment{{Start: 0, End: 20, Speed: 1}}
+	execs := RunEDF(jobs, segs)
+	if !AllMet(execs) {
+		t.Fatalf("EDF missed: %+v", execs)
+	}
+	// tight finishes at 3 (preempting loose at t=2).
+	for _, e := range execs {
+		if e.Job == "tight" && !approx(e.Finish, 3, 1e-9) {
+			t.Fatalf("tight finished at %v, want 3", e.Finish)
+		}
+		if e.Job == "loose" && !approx(e.Finish, 6, 1e-9) {
+			t.Fatalf("loose finished at %v, want 6", e.Finish)
+		}
+	}
+}
+
+func TestFeasibleEDF(t *testing.T) {
+	if !FeasibleEDF([]Job{{Arrival: 0, Deadline: 2, Work: 1}, {Arrival: 0, Deadline: 2, Work: 1}}) {
+		t.Error("feasible set rejected")
+	}
+	if FeasibleEDF([]Job{{Arrival: 0, Deadline: 2, Work: 3}}) {
+		t.Error("overloaded set accepted")
+	}
+	if !FeasibleEDF(nil) {
+		t.Error("empty set rejected")
+	}
+}
+
+func TestQuantizeRoundsUp(t *testing.T) {
+	levels := []float64{0.25, 0.5, 0.75, 1.0}
+	segs := []Segment{{0, 1, 0.3}, {1, 2, 0.5}, {2, 3, 0.9}}
+	q, err := Quantize(segs, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{0.5, 0.5, 1.0}
+	// First two merge (same speed after rounding).
+	if len(q) != 2 {
+		t.Fatalf("%d segments after quantize, want 2 (merged)", len(q))
+	}
+	if !approx(q[0].Speed, wants[0], 1e-12) || !approx(q[1].Speed, wants[2], 1e-12) {
+		t.Fatalf("quantized speeds %v", q)
+	}
+}
+
+func TestQuantizeOverflowErrors(t *testing.T) {
+	if _, err := Quantize([]Segment{{0, 1, 1.2}}, []float64{0.5, 1.0}); err == nil {
+		t.Fatal("overspeed segment accepted")
+	}
+	if _, err := Quantize([]Segment{{0, 1, 0.5}}, nil); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	if _, err := Quantize([]Segment{{0, 1, 0.5}}, []float64{1.0, 0.5}); err == nil {
+		t.Fatal("unsorted levels accepted")
+	}
+}
+
+// TestYDSMatchesPartitionerOnFrameJob ties sched to the paper: a single
+// frame's PROC job — window D minus the serial transfer times — YDS gives
+// a constant speed equal to the partitioner's required frequency, and
+// quantizing to the SA-1100 table gives the Fig 8 assignment.
+func TestYDSMatchesPartitionerOnFrameJob(t *testing.T) {
+	const d = 2.3
+	// Scheme 1, Node 2: RECV 0.6 KB (0.15 s), SEND 0.1 KB (0.1 s),
+	// PROC 1.04 reference-seconds.
+	job := Job{Name: "proc2", Arrival: 0.15, Deadline: d*1.02 - 0.10, Work: 1.04}
+	segs, err := YDS([]Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpeed := 1.04 / (job.Deadline - job.Arrival)
+	if got := PeakSpeed(segs); !approx(got, wantSpeed, 1e-9) {
+		t.Fatalf("YDS speed %v, want %v", got, wantSpeed)
+	}
+	// Quantize to the SA-1100 table (relative to 206.4 MHz).
+	levels := make([]float64, len(cpu.Table))
+	for i, op := range cpu.Table {
+		levels[i] = op.FreqMHz / cpu.MaxPoint.FreqMHz
+	}
+	q, err := Quantize(segs, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMHz := PeakSpeed(q) * cpu.MaxPoint.FreqMHz
+	if !approx(gotMHz, 103.2, 1e-6) {
+		t.Fatalf("quantized clock %v MHz, want 103.2 (Fig 8 scheme 1)", gotMHz)
+	}
+}

@@ -1,0 +1,227 @@
+// Package sched implements the classical DVS scheduling baselines the
+// paper builds on (§2): the Yao–Demers–Shenker (YDS) minimum-energy
+// speed schedule for jobs with arrival times and deadlines [Yao, Demers,
+// Shenker, FOCS 1995], EDF execution/verification at a given speed
+// profile, and quantization of ideal speeds onto the SA-1100's discrete
+// operating points.
+//
+// In the paper's setting each frame is one job (PROC) whose window is the
+// frame delay minus the serial transfer times; YDS on that job set
+// degenerates to the per-stage minimum-frequency assignment of Fig 8,
+// which the tests verify against core's partitioner.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Job is a piece of work with a release time and a deadline. Work is in
+// reference-speed seconds: at speed s it takes Work/s wall seconds.
+type Job struct {
+	Name     string
+	Arrival  float64
+	Deadline float64
+	Work     float64
+}
+
+// Segment is a span of the speed schedule. Speed is relative to the
+// reference clock (1.0 = reference; values above 1 are infeasible on the
+// real part but meaningful for analysis).
+type Segment struct {
+	Start, End float64
+	Speed      float64
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// ErrInfeasible is returned when a job's window cannot hold its work at
+// any finite speed (zero-length window with positive work).
+var ErrInfeasible = errors.New("sched: infeasible job set")
+
+// YDS computes the minimum-energy speed schedule for the jobs under any
+// convex power function, as a piecewise-constant speed profile. Jobs are
+// executed EDF within the profile. The profile covers exactly the spans
+// where the speed is positive; gaps are idle.
+func YDS(jobs []Job) ([]Segment, error) {
+	for _, j := range jobs {
+		if j.Work < 0 {
+			return nil, fmt.Errorf("sched: job %q has negative work", j.Name)
+		}
+		if j.Deadline < j.Arrival {
+			return nil, fmt.Errorf("sched: job %q deadline before arrival", j.Name)
+		}
+		if j.Work > 0 && j.Deadline == j.Arrival {
+			return nil, ErrInfeasible
+		}
+	}
+	active := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Work > 0 {
+			active = append(active, j)
+		}
+	}
+	segs, err := ydsRec(active)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	return mergeAdjacent(segs), nil
+}
+
+// ydsRec recursively extracts the critical interval.
+func ydsRec(jobs []Job) ([]Segment, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	t1, t2, speed := criticalInterval(jobs)
+	if math.IsInf(speed, 1) {
+		return nil, ErrInfeasible
+	}
+	if speed <= 0 {
+		return nil, nil
+	}
+	// Remove the critical jobs; compress [t1, t2] out of the timeline
+	// for the rest.
+	width := t2 - t1
+	var rest []Job
+	for _, j := range jobs {
+		if j.Arrival >= t1 && j.Deadline <= t2 {
+			continue // scheduled inside the critical interval
+		}
+		nj := j
+		nj.Arrival = compress(j.Arrival, t1, t2)
+		nj.Deadline = compress(j.Deadline, t1, t2)
+		rest = append(rest, nj)
+	}
+	sub, err := ydsRec(rest)
+	if err != nil {
+		return nil, err
+	}
+	// Expand the recursive solution back into original coordinates and
+	// splice the critical segment in. A sub-segment straddling the cut
+	// point t1 wraps around the extracted interval and must be split.
+	out := make([]Segment, 0, len(sub)+2)
+	for _, s := range sub {
+		switch {
+		case s.End <= t1:
+			out = append(out, s)
+		case s.Start >= t1:
+			out = append(out, Segment{Start: s.Start + width, End: s.End + width, Speed: s.Speed})
+		default:
+			out = append(out,
+				Segment{Start: s.Start, End: t1, Speed: s.Speed},
+				Segment{Start: t2, End: s.End + width, Speed: s.Speed})
+		}
+	}
+	out = append(out, Segment{Start: t1, End: t2, Speed: speed})
+	return out, nil
+}
+
+func compress(t, t1, t2 float64) float64 {
+	switch {
+	case t <= t1:
+		return t
+	case t >= t2:
+		return t - (t2 - t1)
+	default:
+		return t1
+	}
+}
+
+// criticalInterval finds the interval [t1, t2] maximizing the intensity
+// g(t1, t2) = (work of jobs fully inside) / (t2 − t1).
+func criticalInterval(jobs []Job) (t1, t2, speed float64) {
+	speed = -1
+	for _, a := range jobs {
+		for _, b := range jobs {
+			lo, hi := a.Arrival, b.Deadline
+			if hi <= lo {
+				if hi == lo {
+					// Zero-width window: infeasible if it must hold work.
+					var w float64
+					for _, j := range jobs {
+						if j.Arrival >= lo && j.Deadline <= hi {
+							w += j.Work
+						}
+					}
+					if w > 0 {
+						return lo, hi, math.Inf(1)
+					}
+				}
+				continue
+			}
+			var w float64
+			for _, j := range jobs {
+				if j.Arrival >= lo && j.Deadline <= hi {
+					w += j.Work
+				}
+			}
+			if g := w / (hi - lo); g > speed {
+				t1, t2, speed = lo, hi, g
+			}
+		}
+	}
+	return t1, t2, speed
+}
+
+func mergeAdjacent(segs []Segment) []Segment {
+	if len(segs) == 0 {
+		return segs
+	}
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if math.Abs(last.End-s.Start) < 1e-12 && math.Abs(last.Speed-s.Speed) < 1e-12 {
+			last.End = s.End
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TotalWork integrates speed over the schedule: the reference-seconds of
+// work the profile can complete.
+func TotalWork(segs []Segment) float64 {
+	var w float64
+	for _, s := range segs {
+		w += s.Speed * s.Duration()
+	}
+	return w
+}
+
+// Energy integrates speed^alpha over the schedule, the canonical convex
+// energy model (alpha ≈ 2–3 for CMOS; the paper's V² argument gives
+// alpha = 3 when voltage tracks frequency linearly).
+func Energy(segs []Segment, alpha float64) float64 {
+	var e float64
+	for _, s := range segs {
+		e += math.Pow(s.Speed, alpha) * s.Duration()
+	}
+	return e
+}
+
+// PeakSpeed returns the highest speed in the schedule.
+func PeakSpeed(segs []Segment) float64 {
+	var m float64
+	for _, s := range segs {
+		if s.Speed > m {
+			m = s.Speed
+		}
+	}
+	return m
+}
+
+// SpeedAt evaluates the profile at time t (0 when idle).
+func SpeedAt(segs []Segment, t float64) float64 {
+	for _, s := range segs {
+		if t >= s.Start && t < s.End {
+			return s.Speed
+		}
+	}
+	return 0
+}

@@ -1,0 +1,285 @@
+package serial
+
+import (
+	"fmt"
+
+	"dvsim/internal/sim"
+)
+
+// Simulation layer: ports and rendezvous transfers on the discrete-event
+// kernel.
+//
+// Topology follows the paper's Fig 5: every Itsy node owns one serial
+// port, PPP-linked to a dedicated port on the host, which IP-forwards
+// between nodes. A node-to-node transfer therefore occupies both nodes'
+// ports simultaneously for one transaction time (cut-through forwarding,
+// matching Fig 3 where SEND1 and RECV2 overlap); the mains-powered host
+// costs nothing.
+//
+// A transfer is a rendezvous: it begins when the sender's offer meets the
+// receiver's accept, lasts LinkParams.TxTime(payload), and releases both
+// sides together. Time spent blocked waiting for the peer is idle time,
+// not transfer time; the OnStart callbacks tell callers the instant the
+// line actually goes active, so they can account CPU modes precisely.
+
+// Kind classifies messages for the node runtime's protocol logic.
+type Kind int
+
+// Message kinds.
+const (
+	// KindFrame is a raw image frame from the host source.
+	KindFrame Kind = iota
+	// KindInter is an intermediate result between pipeline nodes.
+	KindInter
+	// KindResult is a final result returned to the host.
+	KindResult
+	// KindAck is a bare acknowledgment transaction (§5.4).
+	KindAck
+	// KindCtrl is a control message (failure reports, reconfiguration).
+	KindCtrl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFrame:
+		return "frame"
+	case KindInter:
+		return "inter"
+	case KindResult:
+		return "result"
+	case KindAck:
+		return "ack"
+	case KindCtrl:
+		return "ctrl"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is one transaction's content.
+type Message struct {
+	From string
+	Kind Kind
+	// Frame is the frame sequence number the message pertains to.
+	Frame int
+	// KB is the payload size on the wire.
+	KB float64
+	// Payload carries typed data for the native pipeline (images,
+	// spectra); the profiled experiments leave it nil.
+	Payload any
+	// Note carries control details for KindCtrl.
+	Note string
+}
+
+// offer is a sender waiting at a receiver's port.
+type offer struct {
+	msg       Message
+	withdrawn bool
+	accepted  *sim.Chan[struct{}]
+	done      *sim.Chan[struct{}]
+}
+
+// Port is one serial endpoint. Senders address the receiving port
+// directly (the host's forwarding is implicit in the timing model).
+// Each port is owned by a single receiving process.
+type Port struct {
+	net     *Network
+	name    string
+	pending []*offer
+	arrival *sim.Chan[struct{}]
+}
+
+// Name returns the port name.
+func (pt *Port) Name() string { return pt.name }
+
+// Pending returns the number of senders waiting at this port.
+func (pt *Port) Pending() int {
+	n := 0
+	for _, of := range pt.pending {
+		if !of.withdrawn {
+			n++
+		}
+	}
+	return n
+}
+
+// TxOpts modifies a send.
+type TxOpts struct {
+	// Deadline bounds how long to wait for the receiver to accept;
+	// zero means wait forever. Once a transfer begins it always runs to
+	// completion.
+	Deadline sim.Time
+	// OnStart is invoked at the instant the transfer begins.
+	OnStart func()
+}
+
+// RxOpts modifies a receive.
+type RxOpts struct {
+	// Deadline bounds the whole receive; zero means wait forever.
+	Deadline sim.Time
+	// Match selects which pending messages to accept; nil accepts any.
+	// Non-matching messages stay queued, in order.
+	Match func(Message) bool
+	// OnStart is invoked at the instant the transfer begins.
+	OnStart func()
+}
+
+// Network creates and tracks ports sharing one link timing model.
+type Network struct {
+	k      *sim.Kernel
+	Params LinkParams
+	ports  map[string]*Port
+	// Stats.
+	transfers int
+	kbMoved   float64
+}
+
+// NewNetwork returns a network on kernel k with the given link timing.
+func NewNetwork(k *sim.Kernel, params LinkParams) *Network {
+	return &Network{k: k, Params: params, ports: make(map[string]*Port)}
+}
+
+// Port returns (creating on first use) the named port.
+func (n *Network) Port(name string) *Port {
+	if p, ok := n.ports[name]; ok {
+		return p
+	}
+	p := &Port{net: n, name: name, arrival: sim.NewChan[struct{}](n.k, "port:"+name)}
+	n.ports[name] = p
+	return p
+}
+
+// Transfers returns the number of completed transactions.
+func (n *Network) Transfers() int { return n.transfers }
+
+// KBMoved returns the total payload carried, in KB.
+func (n *Network) KBMoved() float64 { return n.kbMoved }
+
+// Send performs one transaction delivering msg to dst: it blocks until
+// the receiver accepts, then for the transaction time. The returned
+// error is non-nil if the process was interrupted (e.g. battery death)
+// before completion.
+func (pt *Port) Send(p *sim.Proc, dst *Port, msg Message) error {
+	return pt.SendOpts(p, dst, msg, TxOpts{})
+}
+
+// SendDeadline is Send that gives up with sim.ErrTimeout if the receiver
+// has not accepted by the absolute deadline.
+func (pt *Port) SendDeadline(p *sim.Proc, dst *Port, msg Message, deadline sim.Time) error {
+	return pt.SendOpts(p, dst, msg, TxOpts{Deadline: deadline})
+}
+
+// SendOpts is Send with options.
+func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error {
+	deadline := opts.Deadline
+	if deadline == 0 {
+		deadline = sim.Infinity
+	}
+	msg.From = pt.name
+	of := &offer{
+		msg:      msg,
+		accepted: sim.NewChan[struct{}](p.Kernel(), "accepted"),
+		done:     sim.NewChan[struct{}](p.Kernel(), "done"),
+	}
+	dst.pending = append(dst.pending, of)
+	dst.arrival.Send(struct{}{})
+	if _, err := of.accepted.RecvDeadline(p, deadline); err != nil {
+		// Withdraw: a late accept must be ignored.
+		of.withdrawn = true
+		of.done.Close()
+		return err
+	}
+	if opts.OnStart != nil {
+		opts.OnStart()
+	}
+	dur := sim.Duration(pt.net.Params.TxTime(msg.KB))
+	if msg.Kind == KindAck {
+		dur = sim.Duration(pt.net.Params.AckTime())
+	}
+	if err := p.Wait(dur); err != nil {
+		// Sender died mid-transfer; the receiver never sees completion.
+		return err
+	}
+	pt.net.transfers++
+	pt.net.kbMoved += msg.KB
+	of.done.Send(struct{}{})
+	return nil
+}
+
+// Recv accepts the next transaction at this port and blocks until the
+// sender completes it.
+func (pt *Port) Recv(p *sim.Proc) (Message, error) {
+	return pt.RecvOpts(p, RxOpts{})
+}
+
+// RecvDeadline is Recv that gives up with sim.ErrTimeout by the absolute
+// deadline. Failure detection in the paper's recovery scheme (§5.4) is
+// built on this timeout.
+func (pt *Port) RecvDeadline(p *sim.Proc, deadline sim.Time) (Message, error) {
+	return pt.RecvOpts(p, RxOpts{Deadline: deadline})
+}
+
+// RecvMatch is Recv accepting only messages that match, leaving others
+// queued in order.
+func (pt *Port) RecvMatch(p *sim.Proc, deadline sim.Time, match func(Message) bool, onStart func()) (Message, error) {
+	return pt.RecvOpts(p, RxOpts{Deadline: deadline, Match: match, OnStart: onStart})
+}
+
+// RecvOpts is Recv with options.
+func (pt *Port) RecvOpts(p *sim.Proc, opts RxOpts) (Message, error) {
+	deadline := opts.Deadline
+	if deadline == 0 {
+		deadline = sim.Infinity
+	}
+	for {
+		if of := pt.take(opts.Match); of != nil {
+			of.accepted.Send(struct{}{})
+			if opts.OnStart != nil {
+				opts.OnStart()
+			}
+			// Once a transfer begins it is no longer subject to the
+			// caller's deadline; but a sender that dies mid-transfer
+			// never completes it, so escape shortly after the wire
+			// time a live sender would have taken.
+			dur := pt.net.Params.TxTime(of.msg.KB)
+			if of.msg.Kind == KindAck {
+				dur = pt.net.Params.AckTime()
+			}
+			escape := p.Now() + sim.Time(dur) + 1e-6
+			if _, err := of.done.RecvDeadline(p, escape); err != nil {
+				if err == sim.ErrClosed {
+					// The sender withdrew in the same instant we
+					// accepted; pretend we never saw the offer.
+					continue
+				}
+				return Message{}, err
+			}
+			return of.msg, nil
+		}
+		// Nothing acceptable queued: wait for an arrival signal, then
+		// rescan. Signals are hints — take() above always rescans the
+		// whole queue, so consuming a signal for a non-matching offer
+		// cannot lose messages.
+		if _, err := pt.arrival.RecvDeadline(p, deadline); err != nil {
+			return Message{}, err
+		}
+	}
+}
+
+// take removes and returns the first live, matching pending offer, also
+// dropping withdrawn entries it walks over.
+func (pt *Port) take(match func(Message) bool) *offer {
+	for i := 0; i < len(pt.pending); i++ {
+		of := pt.pending[i]
+		if of.withdrawn {
+			pt.pending = append(pt.pending[:i], pt.pending[i+1:]...)
+			i--
+			continue
+		}
+		if match == nil || match(of.msg) {
+			pt.pending = append(pt.pending[:i], pt.pending[i+1:]...)
+			return of
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package serial
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsim/internal/sim"
+)
+
+func TestTxTimeMatchesFig6(t *testing.T) {
+	lp := DefaultLink()
+	// Paper Fig 6 communication times (±0.01 s rounding).
+	cases := []struct{ kb, want float64 }{
+		{10.1, 1.10},
+		{7.5, 0.84},
+		{0.6, 0.15},
+		{0.1, 0.10},
+	}
+	for _, c := range cases {
+		got := lp.TxTime(c.kb)
+		if math.Abs(got-c.want) > 0.011 {
+			t.Errorf("TxTime(%v KB) = %.3f s, want ≈%.2f (Fig 6)", c.kb, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeProperties(t *testing.T) {
+	lp := DefaultLink()
+	if lp.TxTime(0) != 0 {
+		t.Error("zero payload should cost nothing")
+	}
+	if lp.AckTime() < 0.05 || lp.AckTime() > 0.1 {
+		t.Errorf("ack cost %v, want within the paper's 50–100 ms", lp.AckTime())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative payload accepted")
+		}
+	}()
+	lp.TxTime(-1)
+}
+
+func TestTxTimeGoodputIs80kbps(t *testing.T) {
+	lp := DefaultLink()
+	// Marginal rate: 1 extra KB costs 1/goodput seconds; 10 KB/s = 80 kbps.
+	d := lp.TxTime(20) - lp.TxTime(10)
+	if math.Abs(d-1.0) > 1e-9 {
+		t.Errorf("10 KB costs %v s, want 1.0 (80 kbps)", d)
+	}
+	if lp.NominalKbps != 115.2 {
+		t.Errorf("nominal %v kbps", lp.NominalKbps)
+	}
+}
+
+func TestSendRecvRendezvousTiming(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b := net.Port("a"), net.Port("b")
+	var sendDone, recvDone sim.Time
+	var got Message
+	k.Spawn("sender", func(p *sim.Proc) {
+		p.Wait(1) // sender arrives at t=1
+		if err := a.Send(p, b, Message{Kind: KindInter, KB: 0.6, Frame: 7}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		sendDone = p.Now()
+	})
+	k.Spawn("receiver", func(p *sim.Proc) {
+		m, err := b.Recv(p) // ready from t=0; waits for the sender
+		if err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		got = m
+		recvDone = p.Now()
+	})
+	k.Run()
+	want := sim.Time(1 + DefaultLink().TxTime(0.6))
+	if math.Abs(float64(sendDone-want)) > 1e-9 || math.Abs(float64(recvDone-want)) > 1e-9 {
+		t.Fatalf("completed at send=%v recv=%v, want %v", sendDone, recvDone, want)
+	}
+	if got.Frame != 7 || got.Kind != KindInter || got.From != "a" {
+		t.Fatalf("message %+v", got)
+	}
+}
+
+func TestRecvWaitsForLateSender(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b := net.Port("a"), net.Port("b")
+	k.Spawn("receiver", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := b.Recv(p); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		if p.Now() <= start {
+			t.Error("recv returned instantly with no sender")
+		}
+	})
+	k.SpawnAt(5, "sender", func(p *sim.Proc) {
+		a.Send(p, b, Message{KB: 0.1})
+	})
+	k.Run()
+}
+
+func TestAckUsesStartupCostOnly(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b := net.Port("a"), net.Port("b")
+	var done sim.Time
+	k.Spawn("sender", func(p *sim.Proc) {
+		if err := a.Send(p, b, Message{Kind: KindAck, KB: 0}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		done = p.Now()
+	})
+	k.Spawn("receiver", func(p *sim.Proc) { b.Recv(p) })
+	k.Run()
+	if math.Abs(float64(done)-DefaultLink().AckTime()) > 1e-9 {
+		t.Fatalf("ack completed at %v, want %v", done, DefaultLink().AckTime())
+	}
+}
+
+func TestSendDeadlineExpiresWithoutReceiver(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b := net.Port("a"), net.Port("b")
+	var err error
+	var at sim.Time
+	k.Spawn("sender", func(p *sim.Proc) {
+		err = a.SendDeadline(p, b, Message{KB: 1}, 2)
+		at = p.Now()
+	})
+	k.Run()
+	if !errors.Is(err, sim.ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if at != 2 {
+		t.Fatalf("timed out at %v, want 2", at)
+	}
+}
+
+func TestRecvDeadlineExpiresWithoutSender(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	b := net.Port("b")
+	var err error
+	k.Spawn("receiver", func(p *sim.Proc) {
+		_, err = b.RecvDeadline(p, 3)
+	})
+	k.Run()
+	if !errors.Is(err, sim.ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestWithdrawnOfferIsSkipped(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b, c := net.Port("a"), net.Port("b"), net.Port("c")
+	// a offers to c but gives up at t=1; b offers at t=2; the receiver
+	// must get b's message.
+	k.Spawn("a", func(p *sim.Proc) {
+		if err := a.SendDeadline(p, c, Message{KB: 1, Frame: 1}, 1); !errors.Is(err, sim.ErrTimeout) {
+			t.Errorf("a: err = %v", err)
+		}
+	})
+	k.SpawnAt(2, "b", func(p *sim.Proc) {
+		if err := b.Send(p, c, Message{KB: 1, Frame: 2}); err != nil {
+			t.Errorf("b: %v", err)
+		}
+	})
+	var got Message
+	k.SpawnAt(3, "receiver", func(p *sim.Proc) {
+		m, err := c.Recv(p)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		got = m
+	})
+	k.Run()
+	if got.Frame != 2 || got.From != "b" {
+		t.Fatalf("got %+v, want frame 2 from b", got)
+	}
+}
+
+func TestDeadSenderMidTransferTimesOutReceiver(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b := net.Port("a"), net.Port("b")
+	sender := k.Spawn("sender", func(p *sim.Proc) {
+		// 10 KB transfer takes ~1.09 s; the sender is killed at 0.5.
+		if err := a.Send(p, b, Message{KB: 10}); err == nil {
+			t.Error("dead sender completed send")
+		}
+	})
+	k.At(0.5, func() { sender.Interrupt("battery died") })
+	var err error
+	k.Spawn("receiver", func(p *sim.Proc) {
+		_, err = b.RecvDeadline(p, 5)
+	})
+	k.Run()
+	if !errors.Is(err, sim.ErrTimeout) {
+		t.Fatalf("receiver err = %v, want timeout", err)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b := net.Port("a"), net.Port("b")
+	k.Spawn("s", func(p *sim.Proc) {
+		a.Send(p, b, Message{KB: 2})
+		a.Send(p, b, Message{KB: 3})
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		b.Recv(p)
+		b.Recv(p)
+	})
+	k.Run()
+	if net.Transfers() != 2 {
+		t.Fatalf("transfers = %d", net.Transfers())
+	}
+	if math.Abs(net.KBMoved()-5) > 1e-12 {
+		t.Fatalf("KB moved = %v", net.KBMoved())
+	}
+}
+
+func TestPortReuseAndPending(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	if net.Port("x") != net.Port("x") {
+		t.Fatal("Port not memoized")
+	}
+	a, b := net.Port("a"), net.Port("b")
+	k.Spawn("s", func(p *sim.Proc) { a.Send(p, b, Message{KB: 1}) })
+	k.RunUntil(0.01)
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", b.Pending())
+	}
+	k.Spawn("r", func(p *sim.Proc) { b.Recv(p) })
+	k.Run()
+	if b.Pending() != 0 {
+		t.Fatalf("pending after delivery = %d", b.Pending())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindFrame: "frame", KindInter: "inter", KindResult: "result",
+		KindAck: "ack", KindCtrl: "ctrl", Kind(9): "Kind(9)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+// Property: messages from one sender to one receiver arrive in order and
+// exactly once, regardless of payload sizes and gaps.
+func TestPropertyInOrderExactlyOnce(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) > 20 {
+			sizes = sizes[:20]
+		}
+		k := sim.NewKernel()
+		net := NewNetwork(k, DefaultLink())
+		a, b := net.Port("a"), net.Port("b")
+		n := len(sizes)
+		k.Spawn("s", func(p *sim.Proc) {
+			for i, s := range sizes {
+				p.Wait(sim.Duration(s%3) / 10)
+				if a.Send(p, b, Message{Frame: i, KB: float64(s%50) / 10}) != nil {
+					return
+				}
+			}
+		})
+		var got []int
+		k.Spawn("r", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				m, err := b.Recv(p)
+				if err != nil {
+					return
+				}
+				got = append(got, m.Frame)
+			}
+		})
+		k.Run()
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfer duration equals TxTime exactly for any payload.
+func TestPropertyTransferDuration(t *testing.T) {
+	f := func(kbRaw uint16) bool {
+		kb := float64(kbRaw%200) / 10
+		k := sim.NewKernel()
+		net := NewNetwork(k, DefaultLink())
+		a, b := net.Port("a"), net.Port("b")
+		var done sim.Time
+		k.Spawn("s", func(p *sim.Proc) {
+			a.Send(p, b, Message{KB: kb})
+			done = p.Now()
+		})
+		k.Spawn("r", func(p *sim.Proc) { b.Recv(p) })
+		k.Run()
+		return math.Abs(float64(done)-net.Params.TxTime(kb)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrDALinkIsStrictlyWorse(t *testing.T) {
+	ser := DefaultLink()
+	ir := IrDALink()
+	if ir.NominalKbps != ser.NominalKbps {
+		t.Errorf("both ports are 115.2 kbps class")
+	}
+	for _, kb := range []float64{0.1, 0.6, 7.5, 10.1} {
+		if ir.TxTime(kb) <= ser.TxTime(kb) {
+			t.Errorf("IR should be slower at %v KB: %v vs %v", kb, ir.TxTime(kb), ser.TxTime(kb))
+		}
+	}
+	if ir.AckTime() <= ser.AckTime() {
+		t.Error("IR turnaround should make acks costlier")
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+// Chan is an unbounded FIFO message queue connecting simulation processes.
+// Sends never block (the queue is unbounded); receives block the calling
+// process until a value is available. Values are delivered in send order,
+// and competing receivers are served in the order they blocked.
+//
+// Chan models mailbox-style message passing; transport latency belongs to
+// the medium (see internal/serial), not the mailbox.
+type Chan[T any] struct {
+	k      *Kernel
+	name   string
+	queue  []T
+	recvrs []*chanWaiter[T]
+	closed bool
+}
+
+type chanWaiter[T any] struct {
+	deliver func(msg wakeMsg)
+	dead    bool // set when the waiter gave up (timeout/interrupt)
+}
+
+// NewChan creates a channel on kernel k. The name appears in diagnostics.
+func NewChan[T any](k *Kernel, name string) *Chan[T] {
+	return &Chan[T]{k: k, name: name}
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Chan[T]) Name() string { return c.name }
+
+// Len returns the number of queued (sent but not received) values.
+func (c *Chan[T]) Len() int { return len(c.queue) }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Send enqueues v, waking the longest-blocked receiver if one exists.
+// Send never blocks. Sending on a closed channel panics, as with Go
+// channels.
+func (c *Chan[T]) Send(v T) {
+	if c.closed {
+		panic("sim: send on closed channel " + c.name)
+	}
+	c.queue = append(c.queue, v)
+	c.wakeOne(nil)
+}
+
+// Close marks the channel closed. Blocked and future receivers get
+// ErrClosed once the queue is drained; queued values remain receivable.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	// Wake every blocked receiver: those beyond the queued values will
+	// observe the closure.
+	for range c.recvrs {
+		c.wakeOne(ErrClosed)
+	}
+}
+
+// wakeOne delivers to the first live waiter, if any.
+func (c *Chan[T]) wakeOne(err error) {
+	for len(c.recvrs) > 0 {
+		w := c.recvrs[0]
+		c.recvrs = c.recvrs[1:]
+		if w.dead {
+			continue
+		}
+		w.deliver(wakeMsg{err: err})
+		return
+	}
+}
+
+// Recv blocks the process until a value is available, returning it.
+// It returns ErrClosed if the channel is closed and drained, ErrInterrupted
+// if the process is interrupted, or ErrShutdown panics through.
+func (c *Chan[T]) Recv(p *Proc) (T, error) {
+	return c.RecvDeadline(p, Infinity)
+}
+
+// RecvTimeout is Recv with a relative timeout; it returns ErrTimeout if no
+// value arrives within d.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (T, error) {
+	return c.RecvDeadline(p, p.k.now+d)
+}
+
+// RecvDeadline is Recv with an absolute deadline (Infinity = wait forever).
+func (c *Chan[T]) RecvDeadline(p *Proc, deadline Time) (T, error) {
+	var zero T
+	for {
+		if len(c.queue) > 0 {
+			v := c.queue[0]
+			c.queue = c.queue[1:]
+			return v, nil
+		}
+		if c.closed {
+			return zero, ErrClosed
+		}
+		if deadline <= p.k.now {
+			return zero, ErrTimeout
+		}
+		w := &chanWaiter[T]{}
+		var timer *Event
+		msg := p.block("Recv "+c.name, func(deliver func(wakeMsg)) {
+			w.deliver = deliver
+			c.recvrs = append(c.recvrs, w)
+			if deadline < Infinity {
+				timer = p.k.At(deadline, func() {
+					w.dead = true
+					deliver(wakeMsg{err: ErrTimeout})
+				})
+			}
+		})
+		w.dead = true
+		if timer != nil {
+			p.k.Cancel(timer)
+		}
+		if msg.err != nil {
+			// On timeout/interrupt a value may have raced in via wakeOne
+			// before the timer fired; the loop re-checks the queue first,
+			// so nothing is lost — but a wake consumed by a dying waiter
+			// must be passed on.
+			if len(c.queue) > 0 {
+				c.wakeOne(nil)
+			}
+			return zero, msg.err
+		}
+		// Woken for a value (or closure): loop re-checks.
+	}
+}
+
+// TryRecv returns a queued value without blocking. ok is false when the
+// queue is empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.queue) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = c.queue[0]
+	c.queue = c.queue[1:]
+	return v, true
+}

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChanSendThenRecv(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var got int
+	k.Spawn("r", func(p *Proc) {
+		v, err := c.Recv(p)
+		if err != nil {
+			t.Errorf("Recv: %v", err)
+		}
+		got = v
+	})
+	k.At(1, func() { c.Send(42) })
+	k.Run()
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestChanRecvBlocksUntilSend(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[string](k, "c")
+	var at Time
+	k.Spawn("r", func(p *Proc) {
+		if _, err := c.Recv(p); err != nil {
+			t.Errorf("Recv: %v", err)
+		}
+		at = p.Now()
+	})
+	k.At(7, func() { c.Send("x") })
+	k.Run()
+	if at != 7 {
+		t.Fatalf("received at %v, want 7", at)
+	}
+}
+
+func TestChanFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var got []int
+	k.At(0, func() {
+		for i := 0; i < 5; i++ {
+			c.Send(i)
+		}
+	})
+	k.Spawn("r", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			v, err := c.Recv(p)
+			if err != nil {
+				t.Errorf("Recv: %v", err)
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestChanCompetingReceiversFIFO(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var winners []string
+	recv := func(name string) {
+		k.Spawn(name, func(p *Proc) {
+			if _, err := c.Recv(p); err == nil {
+				winners = append(winners, name)
+			}
+		})
+	}
+	recv("first")
+	recv("second")
+	k.At(1, func() { c.Send(1) })
+	k.At(2, func() { c.Send(2) })
+	k.Run()
+	if len(winners) != 2 || winners[0] != "first" || winners[1] != "second" {
+		t.Fatalf("winners = %v, want [first second]", winners)
+	}
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var err error
+	var at Time
+	k.Spawn("r", func(p *Proc) {
+		_, err = c.RecvTimeout(p, 3)
+		at = p.Now()
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if at != 3 {
+		t.Fatalf("timed out at %v, want 3", at)
+	}
+}
+
+func TestChanRecvTimeoutBeatenBySend(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var v int
+	var err error
+	k.Spawn("r", func(p *Proc) { v, err = c.RecvTimeout(p, 10) })
+	k.At(2, func() { c.Send(9) })
+	k.Run()
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if v != 9 {
+		t.Fatalf("v = %d, want 9", v)
+	}
+}
+
+func TestChanTimedOutWaiterDoesNotAbsorbLaterSend(t *testing.T) {
+	// After the first receiver times out, a send must reach the second
+	// (still live) receiver, not be swallowed by the dead waiter entry.
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var second int
+	var timidErr error
+	k.Spawn("timid", func(p *Proc) {
+		_, timidErr = c.RecvTimeout(p, 1)
+	})
+	k.Spawn("patient", func(p *Proc) {
+		v, err := c.Recv(p)
+		if err != nil {
+			t.Errorf("patient: %v", err)
+		}
+		second = v
+	})
+	k.At(2, func() { c.Send(5) })
+	k.Run()
+	if !errors.Is(timidErr, ErrTimeout) {
+		t.Fatalf("timid err = %v, want ErrTimeout", timidErr)
+	}
+	if second != 5 {
+		t.Fatalf("patient got %d, want 5", second)
+	}
+}
+
+func TestChanSameInstantSendBeatsTimeout(t *testing.T) {
+	// When a send event is scheduled before the timeout timer at the same
+	// instant, the receiver gets the value: delivery order is the event
+	// schedule order, deterministically.
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var v int
+	var err error
+	k.Spawn("r", func(p *Proc) { v, err = c.RecvTimeout(p, 1) })
+	k.At(1, func() { c.Send(7) }) // scheduled before r's timer is created
+	k.Run()
+	if err != nil || v != 7 {
+		t.Fatalf("got (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var errs []error
+	for i := 0; i < 3; i++ {
+		k.Spawn("r", func(p *Proc) {
+			_, err := c.Recv(p)
+			errs = append(errs, err)
+		})
+	}
+	k.At(1, func() { c.Close() })
+	k.Run()
+	if len(errs) != 3 {
+		t.Fatalf("%d receivers returned, want 3", len(errs))
+	}
+	for _, err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	}
+}
+
+func TestChanClosedDrainsQueueFirst(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	c.Send(1)
+	c.Send(2)
+	c.Close()
+	var got []int
+	var finalErr error
+	k.Spawn("r", func(p *Proc) {
+		for {
+			v, err := c.Recv(p)
+			if err != nil {
+				finalErr = err
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+	if !errors.Is(finalErr, ErrClosed) {
+		t.Fatalf("final err = %v, want ErrClosed", finalErr)
+	}
+}
+
+func TestChanSendOnClosedPanics(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("send on closed channel did not panic")
+		}
+	}()
+	c.Send(1)
+}
+
+func TestChanCloseIdempotent(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	c.Close()
+	c.Close()
+	if !c.Closed() {
+		t.Fatal("Closed() = false")
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("TryRecv on empty channel returned ok")
+	}
+	c.Send(3)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	v, ok := c.TryRecv()
+	if !ok || v != 3 {
+		t.Fatalf("TryRecv = %d,%v, want 3,true", v, ok)
+	}
+}
+
+func TestChanInterruptedReceiver(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "c")
+	var err error
+	p := k.Spawn("r", func(p *Proc) { _, err = c.Recv(p) })
+	k.At(1, func() { p.Interrupt(nil) })
+	k.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+// Property: for any sequence of sends, a single receiver drains exactly the
+// values sent, in order.
+func TestPropertyChanPreservesSequence(t *testing.T) {
+	f := func(vals []int) bool {
+		k := NewKernel()
+		c := NewChan[int](k, "c")
+		var got []int
+		k.At(0, func() {
+			for _, v := range vals {
+				c.Send(v)
+			}
+			c.Close()
+		})
+		k.Spawn("r", func(p *Proc) {
+			for {
+				v, err := c.Recv(p)
+				if err != nil {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		k.Run()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with multiple receivers, every sent value is delivered exactly
+// once (no loss, no duplication).
+func TestPropertyChanExactlyOnce(t *testing.T) {
+	f := func(n uint8, receivers uint8) bool {
+		nv := int(n%50) + 1
+		nr := int(receivers%5) + 1
+		k := NewKernel()
+		c := NewChan[int](k, "c")
+		seen := make(map[int]int)
+		for i := 0; i < nr; i++ {
+			k.Spawn("r", func(p *Proc) {
+				for {
+					v, err := c.Recv(p)
+					if err != nil {
+						return
+					}
+					seen[v]++
+				}
+			})
+		}
+		k.At(1, func() {
+			for i := 0; i < nv; i++ {
+				c.Send(i)
+			}
+			c.Close()
+		})
+		k.Run()
+		if len(seen) != nv {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

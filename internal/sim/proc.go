@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned from blocking process operations.
+var (
+	// ErrInterrupted is returned when another process interrupts a wait.
+	ErrInterrupted = errors.New("sim: interrupted")
+	// ErrShutdown is returned from blocking calls when the kernel shuts
+	// the process down (queue drained or explicit Kill).
+	ErrShutdown = errors.New("sim: shutdown")
+	// ErrTimeout is returned by timed operations that expire.
+	ErrTimeout = errors.New("sim: timeout")
+	// ErrClosed is returned by operations on a closed channel.
+	ErrClosed = errors.New("sim: channel closed")
+)
+
+// killed is the panic payload used to unwind a process being shut down.
+type killed struct{ err error }
+
+// wakeMsg carries the reason a parked process is resumed.
+type wakeMsg struct {
+	err    error // nil for a normal wake
+	reason any   // payload: interrupt reason or received value
+}
+
+// ProcState describes what a process is doing, for traces.
+type ProcState int
+
+// Process states reported to tracers.
+const (
+	StateCreated ProcState = iota
+	StateRunning
+	StateBlocked
+	StateDone
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Proc is a simulation process: sequential code running on its own
+// goroutine under the kernel's strict handoff discipline. At any instant
+// at most one process (or event callback) executes; all others are parked.
+//
+// Process bodies receive the Proc and use its blocking operations (Wait,
+// WaitUntil, and the channel/resource operations in this package). Blocking
+// operations return an error when the process is interrupted or the kernel
+// shuts down; bodies should propagate such errors and return.
+type Proc struct {
+	k    *Kernel
+	id   uint64
+	name string
+
+	wake   chan wakeMsg  // kernel -> proc: resume
+	parked chan struct{} // proc -> kernel: parked or finished
+
+	// deliver is non-nil exactly while the process is blocked. Calling it
+	// wakes the process with the given message; only the first call wins.
+	deliver func(msg wakeMsg)
+	// blockedIn names the blocking call, for deadlock diagnostics.
+	blockedIn string
+
+	done    bool
+	killErr error
+	state   ProcState
+
+	// joiners are woken when the process finishes.
+	joiners []func(wakeMsg)
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Err returns the error the process was terminated with, if any.
+func (p *Proc) Err() error { return p.killErr }
+
+// Spawn starts a new process at the current simulated time. The body fn
+// begins executing when the kernel reaches the start event; Spawn itself
+// returns immediately.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt starts a new process at absolute time t ≥ Now.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		wake:   make(chan wakeMsg),
+		parked: make(chan struct{}),
+		state:  StateCreated,
+	}
+	k.procs[p] = struct{}{}
+	go p.run(fn)
+	start := k.At(t, func() { p.resume(wakeMsg{}) })
+	p.id = start.seq
+	// A process waiting to start can still be shut down: deliver unwinds
+	// the pending start event.
+	p.deliver = func(msg wakeMsg) {
+		p.deliver = nil
+		k.Cancel(start)
+		p.resume(msg)
+	}
+	k.trace(p, StateCreated, "spawn")
+	return p
+}
+
+// run is the goroutine body: wait for the initial resume, execute fn,
+// then signal completion.
+func (p *Proc) run(fn func(p *Proc)) {
+	msg := <-p.wake
+	if msg.err != nil {
+		// Killed before it ever ran.
+		p.killErr = msg.err
+		p.finish()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if kd, ok := r.(killed); ok {
+				p.killErr = kd.err
+				p.finish()
+				return
+			}
+			// Record the panic, return control to the kernel, then crash:
+			// dying silently on a detached goroutine would hang the kernel.
+			p.killErr = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			p.finish()
+			panic(r)
+		}
+		p.finish()
+	}()
+	p.deliver = nil
+	p.setState(StateRunning, "start")
+	fn(p)
+}
+
+// finish marks the process done and returns control to the kernel.
+func (p *Proc) finish() {
+	p.done = true
+	p.deliver = nil
+	p.setState(StateDone, "done")
+	delete(p.k.procs, p)
+	for _, j := range p.joiners {
+		j(wakeMsg{})
+	}
+	p.joiners = nil
+	p.parked <- struct{}{}
+}
+
+// resume hands control to the process and blocks until it parks again or
+// finishes. Must be called from kernel context (an event callback).
+func (p *Proc) resume(msg wakeMsg) {
+	p.wake <- msg
+	<-p.parked
+}
+
+// block parks the process with a registered wake path. prepare runs before
+// parking and receives the one-shot deliver function; it typically stores
+// the function where some future event can find it. block returns the wake
+// message. Shutdown unwinds the process via panic(killed{...}).
+func (p *Proc) block(why string, prepare func(deliver func(msg wakeMsg))) wakeMsg {
+	armed := true
+	p.deliver = func(msg wakeMsg) {
+		if !armed {
+			return
+		}
+		armed = false
+		p.deliver = nil
+		// Route the wake through the event queue so wake ordering is
+		// determined by schedule order, never by goroutine scheduling.
+		p.k.At(p.k.now, func() { p.resume(msg) })
+	}
+	if prepare != nil {
+		prepare(p.deliver)
+	}
+	p.setState(StateBlocked, why)
+	p.blockedIn = why
+	p.parked <- struct{}{}
+	msg := <-p.wake
+	p.blockedIn = ""
+	if msg.err != nil && errors.Is(msg.err, ErrShutdown) {
+		panic(killed{msg.err})
+	}
+	p.setState(StateRunning, "resume")
+	return msg
+}
+
+// Wait suspends the process for d seconds of simulated time. It returns
+// nil on normal expiry, or ErrInterrupted if Interrupt was called.
+func (p *Proc) Wait(d Duration) error {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative wait %v", d))
+	}
+	return p.WaitUntil(p.k.now + d)
+}
+
+// WaitUntil suspends the process until absolute time t. If t ≤ Now the
+// process still yields to the kernel for one instant, so pending same-time
+// events run in schedule order.
+func (p *Proc) WaitUntil(t Time) error {
+	if t < p.k.now {
+		t = p.k.now
+	}
+	var timer *Event
+	msg := p.block("Wait", func(deliver func(wakeMsg)) {
+		timer = p.k.At(t, func() { deliver(wakeMsg{}) })
+	})
+	if msg.err != nil {
+		p.k.Cancel(timer)
+		return msg.err
+	}
+	return nil
+}
+
+// Join blocks until other finishes (returning immediately if it already
+// has). It returns ErrInterrupted if this process is interrupted first.
+func (p *Proc) Join(other *Proc) error {
+	if other.Done() {
+		return p.Wait(0) // yield once for deterministic ordering
+	}
+	msg := p.block("Join "+other.name, func(deliver func(wakeMsg)) {
+		other.joiners = append(other.joiners, deliver)
+	})
+	if msg.err != nil {
+		return msg.err
+	}
+	return nil
+}
+
+// Interrupt wakes the process out of its current blocking call with
+// ErrInterrupted carrying reason. If the process is running, the interrupt
+// is delivered at its next blocking call within the same instant; if it is
+// already done, Interrupt is a no-op.
+func (p *Proc) Interrupt(reason any) {
+	if p.done {
+		return
+	}
+	if d := p.deliver; d != nil {
+		d(wakeMsg{err: ErrInterrupted, reason: reason})
+		return
+	}
+	// Running: arm a one-shot that fires when it next blocks.
+	p.k.At(p.k.now, func() {
+		if p.done {
+			return
+		}
+		if d := p.deliver; d != nil {
+			d(wakeMsg{err: ErrInterrupted, reason: reason})
+		}
+	})
+}
+
+// kill terminates a process with err (normally ErrShutdown).
+func (p *Proc) kill(err error) {
+	if p.done {
+		delete(p.k.procs, p)
+		return
+	}
+	if d := p.deliver; d != nil {
+		// Deliver directly rather than via the queue: shutdown runs after
+		// the queue has drained, so no more events will fire.
+		p.deliver = nil
+		p.killErr = err
+		p.resume(wakeMsg{err: err})
+		return
+	}
+	panic(fmt.Sprintf("sim: killing process %q that is not blocked", p.name))
+}
+
+func (p *Proc) setState(s ProcState, why string) {
+	p.state = s
+	p.k.trace(p, s, why)
+}
+
+func (k *Kernel) trace(p *Proc, s ProcState, why string) {
+	if k.tracer != nil {
+		k.tracer.ProcState(k.now, p, s, why)
+	}
+}

@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProcRunsAndWaits(t *testing.T) {
+	k := NewKernel()
+	var marks []Time
+	k.Spawn("worker", func(p *Proc) {
+		marks = append(marks, p.Now())
+		if err := p.Wait(2); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		marks = append(marks, p.Now())
+		if err := p.Wait(3); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		marks = append(marks, p.Now())
+	})
+	k.Run()
+	want := []Time{0, 2, 5}
+	if len(marks) != len(want) {
+		t.Fatalf("marks = %v, want %v", marks, want)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestSpawnAtDelaysStart(t *testing.T) {
+	k := NewKernel()
+	var started Time = -1
+	k.SpawnAt(4, "late", func(p *Proc) { started = p.Now() })
+	k.Run()
+	if started != 4 {
+		t.Fatalf("started at %v, want 4", started)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	mk := func(name string, d Duration) {
+		k.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				if p.Wait(d) != nil {
+					return
+				}
+				order = append(order, name)
+			}
+		})
+	}
+	mk("a", 1)
+	mk("b", 1)
+	k.Run()
+	// Same wait durations, a spawned first, so a always precedes b at each
+	// instant.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestInterruptWakesWaiter(t *testing.T) {
+	k := NewKernel()
+	var gotErr error
+	var gotAt Time
+	p := k.Spawn("sleeper", func(p *Proc) {
+		gotErr = p.Wait(100)
+		gotAt = p.Now()
+	})
+	k.At(5, func() { p.Interrupt("poke") })
+	k.Run()
+	if !errors.Is(gotErr, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", gotErr)
+	}
+	if gotAt != 5 {
+		t.Fatalf("woke at %v, want 5", gotAt)
+	}
+}
+
+func TestInterruptAfterDoneIsNoop(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("quick", func(p *Proc) {})
+	k.At(1, func() { p.Interrupt("late") })
+	k.Run()
+	if !p.Done() {
+		t.Fatal("proc not done")
+	}
+}
+
+func TestProcDoneFlag(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("w", func(p *Proc) { p.Wait(1) })
+	if p.Done() {
+		t.Fatal("done before run")
+	}
+	k.Run()
+	if !p.Done() {
+		t.Fatal("not done after run")
+	}
+}
+
+func TestShutdownUnblocksStrandedProc(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int](k, "never")
+	var sawShutdown bool
+	k.Spawn("stranded", func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				if kd, ok := r.(killed); ok && errors.Is(kd.err, ErrShutdown) {
+					sawShutdown = true
+				}
+				panic(r)
+			}
+		}()
+		c.Recv(p) // blocks forever; kernel shutdown must unwind it
+		t.Error("Recv returned without shutdown")
+	})
+	k.At(1, func() {})
+	k.Run()
+	_ = sawShutdown // unwinding is internal; observable effect is Run returning
+	if len(k.procs) != 0 {
+		t.Fatalf("%d procs leaked after shutdown", len(k.procs))
+	}
+}
+
+func TestWaitZeroYieldsToSameTimeEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("p", func(p *Proc) {
+		order = append(order, "p1")
+		p.Wait(0)
+		order = append(order, "p2")
+	})
+	k.At(0, func() { order = append(order, "event") })
+	k.Run()
+	// The proc starts (its start event precedes the bare event), runs to
+	// Wait(0), parks; the bare event fires; then the proc resumes.
+	want := []string{"p1", "event", "p2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitUntilPastReturnsPromptly(t *testing.T) {
+	k := NewKernel()
+	done := false
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(5)
+		if err := p.WaitUntil(1); err != nil { // already past
+			t.Errorf("WaitUntil past: %v", err)
+		}
+		if p.Now() != 5 {
+			t.Errorf("WaitUntil past advanced clock to %v", p.Now())
+		}
+		done = true
+	})
+	k.Run()
+	if !done {
+		t.Fatal("proc did not finish")
+	}
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	k := NewKernel()
+	var recovered bool
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+				// Swallow: the proc finishes normally after recovery.
+			}
+		}()
+		p.Wait(-1)
+	})
+	k.Run()
+	if !recovered {
+		t.Fatal("negative Wait did not panic")
+	}
+}
+
+func TestProcNamesAndKernelAccessors(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("alpha", func(p *Proc) {
+		if p.Name() != "alpha" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+	})
+	k.Run()
+	if p.Err() != nil {
+		t.Fatalf("Err = %v", p.Err())
+	}
+}
+
+func TestManyProcsAllComplete(t *testing.T) {
+	k := NewKernel()
+	const n = 100
+	doneCount := 0
+	for i := 0; i < n; i++ {
+		d := Duration(i) / 10
+		k.Spawn("w", func(p *Proc) {
+			if p.Wait(d) == nil {
+				doneCount++
+			}
+		})
+	}
+	k.Run()
+	if doneCount != n {
+		t.Fatalf("%d of %d procs completed", doneCount, n)
+	}
+}
+
+func TestTracerSeesLifecycle(t *testing.T) {
+	k := NewKernel()
+	rec := &Recorder{}
+	k.SetTracer(rec)
+	k.Spawn("traced", func(p *Proc) { p.Wait(1) })
+	k.Run()
+	var states []ProcState
+	for _, r := range rec.Records {
+		if r.Proc == "traced" {
+			states = append(states, r.State)
+		}
+	}
+	// created, running(start), blocked(wait), running(resume), done
+	want := []ProcState{StateCreated, StateRunning, StateBlocked, StateRunning, StateDone}
+	if len(states) != len(want) {
+		t.Fatalf("states = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("states = %v, want %v", states, want)
+		}
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	k := NewKernel()
+	rec := &Recorder{Filter: func(name string) bool { return name == "keep" }}
+	k.SetTracer(rec)
+	k.Spawn("keep", func(p *Proc) {})
+	k.Spawn("drop", func(p *Proc) {})
+	k.Run()
+	for _, r := range rec.Records {
+		if r.Proc != "keep" {
+			t.Fatalf("filter leaked record for %q", r.Proc)
+		}
+	}
+	if len(rec.Records) == 0 {
+		t.Fatal("no records for kept proc")
+	}
+}
+
+func TestProcStateString(t *testing.T) {
+	cases := map[ProcState]string{
+		StateCreated: "created",
+		StateRunning: "running",
+		StateBlocked: "blocked",
+		StateDone:    "done",
+		ProcState(9): "ProcState(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestJoinWaitsForCompletion(t *testing.T) {
+	k := NewKernel()
+	worker := k.Spawn("worker", func(p *Proc) { p.Wait(5) })
+	var joinedAt Time = -1
+	k.Spawn("waiter", func(p *Proc) {
+		if err := p.Join(worker); err != nil {
+			t.Errorf("Join: %v", err)
+		}
+		joinedAt = p.Now()
+	})
+	k.Run()
+	if joinedAt != 5 {
+		t.Fatalf("joined at %v, want 5", joinedAt)
+	}
+}
+
+func TestJoinFinishedProcReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	worker := k.Spawn("worker", func(p *Proc) {})
+	var joinedAt Time = -1
+	k.SpawnAt(3, "waiter", func(p *Proc) {
+		if err := p.Join(worker); err != nil {
+			t.Errorf("Join: %v", err)
+		}
+		joinedAt = p.Now()
+	})
+	k.Run()
+	if joinedAt != 3 {
+		t.Fatalf("joined at %v, want 3", joinedAt)
+	}
+}
+
+func TestJoinInterruptible(t *testing.T) {
+	k := NewKernel()
+	worker := k.Spawn("worker", func(p *Proc) { p.Wait(100) })
+	var err error
+	waiter := k.Spawn("waiter", func(p *Proc) { err = p.Join(worker) })
+	k.At(2, func() { waiter.Interrupt("enough") })
+	k.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+func TestJoinManyWaiters(t *testing.T) {
+	k := NewKernel()
+	worker := k.Spawn("worker", func(p *Proc) { p.Wait(7) })
+	done := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			if p.Join(worker) == nil && p.Now() == 7 {
+				done++
+			}
+		})
+	}
+	k.Run()
+	if done != 5 {
+		t.Fatalf("%d joiners woke correctly, want 5", done)
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceMutexSerializes(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu", 1)
+	var spans [][2]Time
+	worker := func(name string) {
+		k.Spawn(name, func(p *Proc) {
+			if err := r.Acquire(p); err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			start := p.Now()
+			p.Wait(5)
+			r.Release(1)
+			spans = append(spans, [2]Time{start, p.Now()})
+		})
+	}
+	worker("a")
+	worker("b")
+	worker("c")
+	k.Run()
+	if len(spans) != 3 {
+		t.Fatalf("%d workers completed, want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i][0] < spans[i-1][1] {
+			t.Fatalf("overlapping critical sections: %v", spans)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "link", 1)
+	var order []string
+	hold := func(name string, at Time) {
+		k.SpawnAt(at, name, func(p *Proc) {
+			if r.Acquire(p) != nil {
+				return
+			}
+			order = append(order, name)
+			p.Wait(10)
+			r.Release(1)
+		})
+	}
+	hold("first", 0)
+	hold("second", 1)
+	hold("third", 2)
+	k.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceCapacityConcurrency(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "pool", 2)
+	active, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", func(p *Proc) {
+			if r.Acquire(p) != nil {
+				return
+			}
+			active++
+			if active > peak {
+				peak = active
+			}
+			p.Wait(1)
+			active--
+			r.Release(1)
+		})
+	}
+	k.Run()
+	if peak != 2 {
+		t.Fatalf("peak concurrency = %d, want 2", peak)
+	}
+}
+
+func TestResourceAcquireNBlocksUntilAllFree(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "pool", 3)
+	var bigAt Time = -1
+	k.Spawn("small", func(p *Proc) {
+		r.Acquire(p)
+		p.Wait(5)
+		r.Release(1)
+	})
+	k.SpawnAt(1, "big", func(p *Proc) {
+		if err := r.AcquireN(p, 3); err != nil {
+			t.Errorf("big: %v", err)
+			return
+		}
+		bigAt = p.Now()
+		r.Release(3)
+	})
+	k.Run()
+	if bigAt != 5 {
+		t.Fatalf("big acquired at %v, want 5 (after small released)", bigAt)
+	}
+}
+
+func TestResourceNoBargingPastHeadWaiter(t *testing.T) {
+	// A small request arriving after a blocked large request must not
+	// overtake it.
+	k := NewKernel()
+	r := NewResource(k, "pool", 2)
+	var order []string
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Wait(10)
+		r.Release(1)
+	})
+	k.SpawnAt(1, "large", func(p *Proc) {
+		if r.AcquireN(p, 2) != nil {
+			return
+		}
+		order = append(order, "large")
+		r.Release(2)
+	})
+	k.SpawnAt(2, "small", func(p *Proc) {
+		if r.Acquire(p) != nil {
+			return
+		}
+		order = append(order, "small")
+		r.Release(1)
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "large" {
+		t.Fatalf("order = %v, want large first", order)
+	}
+}
+
+func TestResourceInterruptedWaiterReleasesSlot(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "mutex", 1)
+	var waiterErr error
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Wait(10)
+		r.Release(1)
+	})
+	w := k.SpawnAt(1, "impatient", func(p *Proc) {
+		waiterErr = r.Acquire(p)
+	})
+	k.At(2, func() { w.Interrupt("bored") })
+	var thirdAt Time = -1
+	k.SpawnAt(3, "third", func(p *Proc) {
+		if r.Acquire(p) != nil {
+			return
+		}
+		thirdAt = p.Now()
+		r.Release(1)
+	})
+	k.Run()
+	if !errors.Is(waiterErr, ErrInterrupted) {
+		t.Fatalf("waiter err = %v, want ErrInterrupted", waiterErr)
+	}
+	if thirdAt != 10 {
+		t.Fatalf("third acquired at %v, want 10", thirdAt)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after all released", r.InUse())
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "x", 4)
+	if r.Name() != "x" || r.Capacity() != 4 || r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Fatalf("accessors: %q %d %d %d", r.Name(), r.Capacity(), r.InUse(), r.QueueLen())
+	}
+}
+
+func TestResourceBadArgsPanic(t *testing.T) {
+	k := NewKernel()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero capacity", func() { NewResource(k, "z", 0) })
+	r := NewResource(k, "r", 2)
+	mustPanic("over-release", func() { r.Release(1) })
+	k.Spawn("p", func(p *Proc) {
+		mustPanic("acquire over capacity", func() { r.AcquireN(p, 3) })
+		mustPanic("acquire zero", func() { r.AcquireN(p, 0) })
+	})
+	k.Run()
+}
+
+// Property: units are conserved — after any pattern of acquire/hold/release
+// cycles completes, InUse returns to zero and peak usage never exceeds
+// capacity.
+func TestPropertyResourceConservation(t *testing.T) {
+	f := func(holds []uint8, capacity uint8) bool {
+		capn := int(capacity%4) + 1
+		k := NewKernel()
+		r := NewResource(k, "pool", capn)
+		ok := true
+		for i, h := range holds {
+			n := int(h%uint8(capn)) + 1
+			d := Duration(h%7) + 1
+			k.SpawnAt(Time(i)/3, "w", func(p *Proc) {
+				if r.AcquireN(p, n) != nil {
+					return
+				}
+				if r.InUse() > capn {
+					ok = false
+				}
+				p.Wait(d)
+				r.Release(n)
+			})
+		}
+		k.Run()
+		return ok && r.InUse() == 0 && r.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking by sequence number), which makes every run
+// of a simulation bit-for-bit reproducible.
+//
+// On top of the raw event queue, the package provides a process abstraction
+// (Proc) in the style of process-oriented simulators: each process runs on
+// its own goroutine, but the kernel enforces a strict one-runnable-at-a-time
+// handoff, so processes may use ordinary sequential control flow (loops,
+// blocking waits, channel receives) without introducing nondeterminism.
+//
+// The kernel is the substrate for every experiment in this repository: CPU
+// activity, serial transactions, battery integration and node control loops
+// are all expressed as events or processes on a single Kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a point in simulated time, in seconds.
+type Time float64
+
+// Duration is a span of simulated time, in seconds.
+type Duration = Time
+
+// Infinity is a time later than any schedulable event.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when not queued
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.t }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	procs   map[*Proc]struct{}
+	tracer  Tracer
+
+	// fired counts events executed, for diagnostics and run limits.
+	fired uint64
+	// limit aborts runaway simulations; 0 means no limit.
+	limit uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty queue.
+func NewKernel() *Kernel {
+	return &Kernel{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// SetEventLimit aborts Run with a panic after n events have fired.
+// It is a guard against runaway simulations in tests; n = 0 disables it.
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// SetTracer installs a tracer that observes process state transitions.
+// A nil tracer disables tracing.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (k *Kernel) Tracer() Tracer { return k.tracer }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: allowing it would silently reorder causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &Event{t: t, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Cancel removes the event from the queue if it has not fired.
+// Canceling an already-fired or already-canceled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&k.queue, e.index)
+}
+
+// step fires the next event. It reports false when the queue is empty.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.t < k.now {
+			panic("sim: event queue time went backwards")
+		}
+		k.now = e.t
+		k.fired++
+		if k.limit > 0 && k.fired > k.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+	k.shutdownProcs()
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t.
+// Events scheduled after t remain queued.
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		next := k.queue[0]
+		if next.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.t > t {
+			break
+		}
+		k.step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Stop halts Run / RunUntil after the current event completes. Queued
+// events are preserved; a later Run resumes them.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Idle reports whether no events remain queued.
+func (k *Kernel) Idle() bool {
+	for len(k.queue) > 0 {
+		if !k.queue[0].canceled {
+			return false
+		}
+		heap.Pop(&k.queue)
+	}
+	return true
+}
+
+// NextEventTime returns the time of the earliest pending event,
+// or Infinity when the queue is empty.
+func (k *Kernel) NextEventTime() Time {
+	for len(k.queue) > 0 {
+		if !k.queue[0].canceled {
+			return k.queue[0].t
+		}
+		heap.Pop(&k.queue)
+	}
+	return Infinity
+}
+
+// shutdownProcs terminates all parked processes so their goroutines exit.
+// Called when Run drains the queue; processes receive ErrShutdown from
+// their blocking call and are expected to return promptly.
+func (k *Kernel) shutdownProcs() {
+	for len(k.procs) > 0 {
+		var p *Proc
+		// Pick the live process with the smallest id for determinism.
+		for q := range k.procs {
+			if p == nil || q.id < p.id {
+				p = q
+			}
+		}
+		p.kill(ErrShutdown)
+	}
+}
+
+// Diagnose lists the live (not finished) processes and the blocking call
+// each is parked in — the first thing to look at when a simulation drains
+// its queue while work seems unfinished (a deadlocked rendezvous, a
+// receive nobody will satisfy). Results are sorted by process id for
+// determinism.
+func (k *Kernel) Diagnose() []string {
+	procs := make([]*Proc, 0, len(k.procs))
+	for p := range k.procs {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	out := make([]string, 0, len(procs))
+	for _, p := range procs {
+		where := p.blockedIn
+		if where == "" {
+			where = "runnable"
+		}
+		out = append(out, fmt.Sprintf("%s: %s", p.name, where))
+	}
+	return out
+}

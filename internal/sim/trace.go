@@ -1,0 +1,34 @@
+package sim
+
+// Tracer observes process state transitions. Implementations must not
+// schedule events or unblock processes; they are passive observers used
+// for timelines (the paper's Figs 2, 3 and 9) and debugging.
+type Tracer interface {
+	// ProcState is called whenever process p enters state s at time t.
+	// why is a short description (e.g. "wait", "Recv net0").
+	ProcState(t Time, p *Proc, s ProcState, why string)
+}
+
+// TraceRecord is one recorded state transition.
+type TraceRecord struct {
+	T     Time
+	Proc  string
+	State ProcState
+	Why   string
+}
+
+// Recorder is a Tracer that appends every transition to a slice.
+type Recorder struct {
+	Records []TraceRecord
+	// Filter, when non-nil, limits recording to processes whose name it
+	// accepts.
+	Filter func(name string) bool
+}
+
+// ProcState implements Tracer.
+func (r *Recorder) ProcState(t Time, p *Proc, s ProcState, why string) {
+	if r.Filter != nil && !r.Filter(p.Name()) {
+		return
+	}
+	r.Records = append(r.Records, TraceRecord{T: t, Proc: p.Name(), State: s, Why: why})
+}

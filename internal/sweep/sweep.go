@@ -1,0 +1,125 @@
+// Package sweep runs independent simulations in parallel. Every
+// experiment in this repository is a deterministic, self-contained
+// discrete-event simulation, so parameter sweeps and suites are
+// embarrassingly parallel: the only care needed is result ordering and
+// panic propagation, which this package handles.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run evaluates fn over every input on up to workers goroutines and
+// returns the outputs in input order. workers ≤ 0 selects GOMAXPROCS.
+// A panic in any fn is re-raised on the caller's goroutine (after all
+// workers have stopped), so a failing configuration cannot be silently
+// dropped.
+func Run[I, O any](inputs []I, workers int, fn func(I) O) []O {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	out := make([]O, len(inputs))
+	if len(inputs) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, in := range inputs {
+			out[i] = fn(in)
+		}
+		return out
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = fmt.Sprintf("sweep: input %d panicked: %v", i, r)
+							}
+							mu.Unlock()
+						}
+					}()
+					out[i] = fn(inputs[i])
+				}()
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	return out
+}
+
+// Dim is one swept dimension.
+type Dim struct {
+	Name   string
+	Values []float64
+}
+
+// Point is one grid configuration: dimension name → value.
+type Point map[string]float64
+
+// Grid returns the cross product of the dimensions, ordered with the
+// first dimension varying slowest (row-major).
+func Grid(dims ...Dim) []Point {
+	if len(dims) == 0 {
+		return nil
+	}
+	for _, d := range dims {
+		if len(d.Values) == 0 {
+			return nil
+		}
+	}
+	total := 1
+	for _, d := range dims {
+		total *= len(d.Values)
+	}
+	out := make([]Point, total)
+	for i := range out {
+		p := make(Point, len(dims))
+		rem := i
+		for k := len(dims) - 1; k >= 0; k-- {
+			d := dims[k]
+			p[d.Name] = d.Values[rem%len(d.Values)]
+			rem /= len(d.Values)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Map applies fn to every grid point in parallel, pairing each point with
+// its output.
+type Result[O any] struct {
+	Point Point
+	Out   O
+}
+
+// Map evaluates fn over the grid on up to workers goroutines.
+func Map[O any](grid []Point, workers int, fn func(Point) O) []Result[O] {
+	outs := Run(grid, workers, fn)
+	res := make([]Result[O], len(grid))
+	for i := range grid {
+		res[i] = Result[O]{Point: grid[i], Out: outs[i]}
+	}
+	return res
+}

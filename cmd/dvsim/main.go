@@ -4,11 +4,15 @@
 // Usage:
 //
 //	dvsim [-exp 2C] [-all] [-rotation N] [-battery twowell|ideal|peukert|kibam]
+//	dvsim -run 2C -telemetry out.jsonl [-until SECONDS]
+//	dvsim -metrics [-run 2B]   # instrumented run, metrics snapshot as CSV
+//	dvsim -ports               # per-port serial accounting as CSV
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dvsim/internal/battery"
@@ -18,6 +22,7 @@ import (
 
 func main() {
 	expFlag := flag.String("exp", "", "single experiment to run (0A, 0B, 1, 1A, 2, 2A, 2B, 2C)")
+	runFlag := flag.String("run", "", "alias for -exp")
 	rotation := flag.Int("rotation", 0, "override rotation period for 2C (frames)")
 	batFlag := flag.String("battery", "twowell", "battery model: twowell, ideal, peukert, kibam")
 	compare := flag.Bool("compare", false, "print the paper-vs-model comparison table")
@@ -25,6 +30,10 @@ func main() {
 	workers := flag.Int("j", 0, "parallel experiment workers (0 = GOMAXPROCS)")
 	plan := flag.Float64("plan", 0, "plan the cheapest configuration reaching this battery life (hours)")
 	runlog := flag.Float64("runlog", 0, "with -exp: emit a JSONL event log of the first N seconds instead of running to exhaustion")
+	telemetry := flag.String("telemetry", "", "with -exp/-run: write a telemetry JSONL log (mode/result/death/sample/link/latency events) to FILE ('-' for stdout)")
+	until := flag.Float64("until", 0, "simulated window in seconds for -telemetry (0 = 30 h, past every battery death)")
+	metricsFlag := flag.Bool("metrics", false, "run instrumented and print each experiment's metrics snapshot as CSV")
+	portsFlag := flag.Bool("ports", false, "print per-port serial accounting as CSV")
 	paramsFile := flag.String("params", "", "load a JSON platform config instead of the calibrated Itsy defaults")
 	dump := flag.Bool("dumpparams", false, "write the default platform config as JSON and exit")
 	flag.Parse()
@@ -35,6 +44,10 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *expFlag == "" {
+		*expFlag = *runFlag
 	}
 
 	p := core.DefaultParams()
@@ -82,6 +95,33 @@ func main() {
 		}
 		return
 	}
+	if *telemetry != "" {
+		id := core.Exp1
+		if *expFlag != "" {
+			id = core.ID(*expFlag)
+		}
+		window := *until
+		if window <= 0 {
+			window = 30 * 3600
+		}
+		var w io.Writer = os.Stdout
+		if *telemetry != "-" {
+			f, err := os.Create(*telemetry)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		n, err := core.RunTelemetry(id, p, window, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "exp %s: %d telemetry records (%.0f s window)\n", id, n, window)
+		return
+	}
 	if *plan > 0 {
 		c, err := core.PlanForLifetime(p, *plan, 4, *workers)
 		if err != nil {
@@ -103,8 +143,19 @@ func main() {
 	if *expFlag != "" {
 		ids = []core.ID{core.ID(*expFlag)}
 	}
+	if *metricsFlag {
+		for _, id := range ids {
+			out := core.RunInstrumented(id, p)
+			fmt.Printf("# exp %s\n%s", out.ID, report.MetricsCSV(out.Metrics))
+		}
+		return
+	}
 	outs := core.RunSuiteParallel(ids, p, *workers)
 
+	if *portsFlag {
+		fmt.Print(report.PortsCSV(outs))
+		return
+	}
 	if *csvOut {
 		fmt.Print(report.CSV(outs))
 		return

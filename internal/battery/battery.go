@@ -59,6 +59,26 @@ type Model interface {
 // mAhToMAs converts milliamp-hours to milliamp-seconds.
 const mAhToMAs = 3600.0
 
+// Availabler is implemented by kinetic models (TwoWell, KiBaM) that
+// distinguish immediately deliverable charge from total charge. The gap
+// between the two is exactly the rate-capacity/recovery dynamics the
+// paper measures, so telemetry samples both.
+type Availabler interface {
+	// AvailableFraction is the immediately usable share of charge
+	// relative to a full battery, in [0, 1].
+	AvailableFraction() float64
+}
+
+// Available reports a model's immediately deliverable charge fraction.
+// Models without an availability well (Ideal, Peukert) report their
+// state of charge: for them every remaining coulomb is deliverable.
+func Available(m Model) float64 {
+	if a, ok := m.(Availabler); ok {
+		return a.AvailableFraction()
+	}
+	return m.StateOfCharge()
+}
+
 // Ideal is a linear coulomb counter: capacity is delivered in full at any
 // rate, with no recovery. It represents the "battery = energy bucket"
 // assumption of CPU-centric DVS studies.

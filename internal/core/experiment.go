@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"dvsim/internal/atr"
+	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
 	"dvsim/internal/host"
+	"dvsim/internal/metrics"
 	"dvsim/internal/node"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
@@ -143,6 +145,18 @@ type Outcome struct {
 	// FramesDropped counts source frames no node accepted in time.
 	FramesDropped int
 	NodeStats     []NodeStat
+	// PortStats is the per-port transfer accounting of the run's serial
+	// network, sorted by port name.
+	PortStats []PortStat
+	// Metrics is the run's instrumentation snapshot; empty unless the
+	// run was instrumented (RunInstrumented, Options.Instrument).
+	Metrics metrics.Snapshot
+}
+
+// PortStat is one serial port's transfer accounting after a run.
+type PortStat struct {
+	Port string
+	serial.PortStats
 }
 
 // stageSetup is the per-node configuration an experiment derives.
@@ -155,17 +169,35 @@ type stageSetup struct {
 
 // Run executes one experiment and returns its outcome. Runs are
 // deterministic.
-func Run(id ID, p Params) Outcome {
+func Run(id ID, p Params) Outcome { return run(id, p, false) }
+
+// RunInstrumented is Run with the telemetry subsystem attached: the
+// kernel, serial network, nodes, batteries and host all record into a
+// metrics registry (see internal/metrics), periodic samplers track
+// battery state and queue depths on the simulation clock, and the
+// resulting snapshot is returned in Outcome.Metrics. Plain Run leaves
+// instrumentation disabled — the no-op instruments cost one nil check
+// each, keeping the benchmarks honest.
+func RunInstrumented(id ID, p Params) Outcome { return run(id, p, true) }
+
+func run(id ID, p Params, instrument bool) Outcome {
 	switch id {
 	case Exp0A:
-		return runNoIO(id, p, cpu.MaxPoint)
+		return runNoIO(id, p, cpu.MaxPoint, instrument)
 	case Exp0B:
-		return runNoIO(id, p, cpu.PointAt(103.2))
+		return runNoIO(id, p, cpu.PointAt(103.2), instrument)
 	default:
 		stages, opts := stagesFor(id, p)
+		opts.instrument = instrument
 		return runPipeline(id, p, stages, opts)
 	}
 }
+
+// DefaultSamplePeriodS is the telemetry sampling cadence when the
+// caller does not choose one: fine enough to draw the paper's ~15 h
+// discharge curves (§6), coarse enough to stay out of the event-queue
+// hot path.
+const DefaultSamplePeriodS = 60.0
 
 // stagesFor derives the per-node configuration of a pipeline experiment.
 func stagesFor(id ID, p Params) ([]stageSetup, pipelineOpts) {
@@ -223,17 +255,33 @@ func mustSpan(p Params, i int) atr.Span {
 
 // runNoIO is experiments 0A/0B: one node computing frames from local
 // storage until its battery dies.
-func runNoIO(id ID, p Params, at cpu.OperatingPoint) Outcome {
+func runNoIO(id ID, p Params, at cpu.OperatingPoint, instrument bool) Outcome {
 	k := sim.NewKernel()
+	var reg *metrics.Registry
+	if instrument {
+		reg = metrics.New(k)
+	}
 	net := serial.NewNetwork(k, p.Link)
+	net.SetMetrics(reg)
 	c := cpu.New(p.Power, at)
 	c.SetMode(cpu.Compute)
 	pw := node.NewPower(k, c, p.Battery())
-	cfg := node.Config{Prof: p.Profile, D: p.FrameDelayS, NoIO: true}
+	cfg := node.Config{Prof: p.Profile, D: p.FrameDelayS, NoIO: true, Metrics: reg}
 	roles := []node.Role{{Index: 1, Span: atr.FullSpan, Compute: at, Comm: at}}
 	n := node.New(k, net, pw, cfg, roles, 0)
 	n.Wire([]*node.Node{n}, net.Port("unused-sink"))
 	n.Start()
+	if reg != nil {
+		registerNodeSamplers(reg, n, DefaultSamplePeriodS)
+		registerKernelSamplers(reg, k, DefaultSamplePeriodS)
+		// The lone battery's death ends the run; stop the samplers there
+		// so they do not keep the event queue alive forever.
+		prev := pw.OnDeath
+		pw.OnDeath = func() {
+			prev()
+			reg.StopSamplers()
+		}
+	}
 	k.Run()
 
 	wallH := float64(k.Now()) / 3600
@@ -245,7 +293,46 @@ func runNoIO(id ID, p Params, at cpu.OperatingPoint) Outcome {
 		BatteryLifeH: wallH,
 		WallH:        wallH,
 		NodeStats:    []NodeStat{statOf(n)},
+		PortStats:    portStatsOf(net),
+		Metrics:      reg.Snapshot(),
 	}
+}
+
+// registerNodeSamplers tracks one node's battery dynamics and inbound
+// backlog as sim-time series.
+func registerNodeSamplers(reg *metrics.Registry, n *node.Node, period float64) {
+	pw := n.Power()
+	reg.Sample("battery_soc", n.Name, sim.Duration(period), func() float64 {
+		return pw.Battery().StateOfCharge()
+	})
+	reg.Sample("battery_available", n.Name, sim.Duration(period), func() float64 {
+		return battery.Available(pw.Battery())
+	})
+	port := n.Port()
+	reg.Sample("port_pending", n.Name, sim.Duration(period), func() float64 {
+		return float64(port.Pending())
+	})
+}
+
+// registerKernelSamplers tracks the event-queue depth and cumulative
+// events fired (the events-processed rate is its discrete derivative).
+func registerKernelSamplers(reg *metrics.Registry, k *sim.Kernel, period float64) {
+	reg.Sample("sim_queue_depth", "", sim.Duration(period), func() float64 {
+		return float64(k.QueueLen())
+	})
+	reg.Sample("sim_events_fired", "", sim.Duration(period), func() float64 {
+		return float64(k.Fired())
+	})
+}
+
+// portStatsOf exports the network's per-port accounting.
+func portStatsOf(net *serial.Network) []PortStat {
+	ports := net.Ports()
+	out := make([]PortStat, 0, len(ports))
+	for _, pt := range ports {
+		out = append(out, PortStat{Port: pt.Name(), PortStats: pt.Stats()})
+	}
+	return out
 }
 
 type pipelineOpts struct {
@@ -255,6 +342,13 @@ type pipelineOpts struct {
 	native    *Native
 	maxFrames int
 	onResult  func(frame int, payload any)
+	// instrument attaches a metrics registry to the rig.
+	instrument bool
+	// samplePeriodS overrides the sampler cadence (≤ 0 selects
+	// DefaultSamplePeriodS).
+	samplePeriodS float64
+	// onTransfer observes every completed serial transaction.
+	onTransfer func(serial.TransferEvent)
 }
 
 // Native carries the real-workload hooks for native pipeline execution:
@@ -274,6 +368,9 @@ type Rig struct {
 	Net   *serial.Network
 	Host  *host.Host
 	Nodes []*node.Node
+	// Metrics is the rig's instrumentation registry; nil when the run is
+	// uninstrumented.
+	Metrics *metrics.Registry
 
 	lastResult sim.Time
 }
@@ -284,11 +381,18 @@ type Rig struct {
 // failure mode of §6.4).
 func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 	k := sim.NewKernel()
+	var reg *metrics.Registry
+	if opts.instrument {
+		reg = metrics.New(k)
+	}
 	net := serial.NewNetwork(k, p.Link)
+	net.SetMetrics(reg)
+	net.OnTransfer = opts.onTransfer
 	h := host.New(k, net)
 	h.D = p.FrameDelayS
 	h.FrameKB = p.Profile.InputKB
 	h.RotationPeriod = opts.rotation
+	h.Metrics = reg
 
 	cfg := node.Config{
 		Prof:           p.Profile,
@@ -296,6 +400,7 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 		RotationPeriod: opts.rotation,
 		Ack:            opts.ack,
 		AckTimeoutS:    p.AckTimeoutS,
+		Metrics:        reg,
 	}
 	h.MaxFrames = opts.maxFrames
 	if opts.native != nil {
@@ -328,7 +433,17 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 		h.Alive = append(h.Alive, func() bool { return !n.Dead() })
 	}
 
-	rig := &Rig{K: k, Net: net, Host: h, Nodes: nodes}
+	rig := &Rig{K: k, Net: net, Host: h, Nodes: nodes, Metrics: reg}
+	if reg != nil {
+		period := opts.samplePeriodS
+		if period <= 0 {
+			period = DefaultSamplePeriodS
+		}
+		for _, n := range nodes {
+			registerNodeSamplers(reg, n, period)
+		}
+		registerKernelSamplers(reg, k, period)
+	}
 	h.OnResult = func(r host.Result) {
 		rig.lastResult = k.Now()
 		if opts.onResult != nil {
@@ -369,6 +484,7 @@ func (r *Rig) Start() {
 // batteries so the run can end; their remaining charge is reported.
 func (r *Rig) Finish() {
 	r.Host.Stop()
+	r.Metrics.StopSamplers()
 	for _, n := range r.Nodes {
 		if !n.Dead() {
 			nn := n
@@ -392,6 +508,8 @@ func (r *Rig) outcome(id ID, p Params) Outcome {
 		BatteryLifeH:  float64(frames) * p.FrameDelayS / 3600,
 		WallH:         float64(r.lastResult) / 3600,
 		FramesDropped: r.Host.FramesDropped,
+		PortStats:     portStatsOf(r.Net),
+		Metrics:       r.Metrics.Snapshot(),
 	}
 	for _, n := range r.Nodes {
 		out.NodeStats = append(out.NodeStats, statOf(n))
@@ -431,6 +549,9 @@ type Options struct {
 	// OnResult, when set, observes each result as it reaches the host
 	// (frame number and, for native runs, the decoded payload).
 	OnResult func(frame int, payload any)
+	// Instrument attaches the telemetry subsystem (see RunInstrumented);
+	// the snapshot lands in Outcome.Metrics.
+	Instrument bool
 }
 
 // RunCustom simulates a custom pipeline to system exhaustion: one node
@@ -450,11 +571,12 @@ func RunCustom(label string, p Params, stages []StageConfig, opts Options) Outco
 		ss[i] = stageSetup{span: s.Span, compute: s.Compute, comm: s.Comm, idle: s.Idle}
 	}
 	out := runPipeline(ID(label), p, ss, pipelineOpts{
-		ack:       opts.Ack,
-		rotation:  opts.RotationPeriod,
-		native:    opts.Native,
-		maxFrames: opts.MaxFrames,
-		onResult:  opts.OnResult,
+		ack:        opts.Ack,
+		rotation:   opts.RotationPeriod,
+		native:     opts.Native,
+		maxFrames:  opts.MaxFrames,
+		onResult:   opts.OnResult,
+		instrument: opts.Instrument,
 	})
 	out.Label = label
 	return out

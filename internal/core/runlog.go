@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"dvsim/internal/host"
+	"dvsim/internal/serial"
 	"dvsim/internal/sim"
 )
 
@@ -18,38 +19,150 @@ import (
 type LogRecord struct {
 	// T is the simulated time in seconds.
 	T float64 `json:"t"`
-	// Event is "mode", "result" or "death".
+	// Event is "mode", "result" or "death" for plain logs; telemetry
+	// logs add "sample", "link" and "latency".
 	Event string `json:"event"`
-	// Node is the acting node ("node1", …); empty for host events.
+	// Node is the acting node ("node1", …); empty for host events. For
+	// sample events it is the sampler's node label.
 	Node string `json:"node,omitempty"`
 	// Mode and MHz describe a mode span ("idle", "communication",
 	// "computation"); End is the span's end time.
 	Mode string  `json:"mode,omitempty"`
 	MHz  float64 `json:"mhz,omitempty"`
 	End  float64 `json:"end,omitempty"`
-	// Frame tags result events.
+	// Frame tags result and latency events.
 	Frame int `json:"frame,omitempty"`
-	// From tags result events with the delivering node.
+	// From tags result events with the delivering node and link events
+	// with the sending port; To is a link event's receiving port.
 	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Metric and Value carry sample events (battery_soc, port_pending,
+	// …); Value doubles as the seconds figure of latency events.
+	Metric string  `json:"metric,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	// Kind, KB and DurS describe a link event's transaction: message
+	// kind, payload size and wire time (startup included).
+	Kind string  `json:"kind,omitempty"`
+	KB   float64 `json:"kb,omitempty"`
+	DurS float64 `json:"dur_s,omitempty"`
+}
+
+// eventRank orders event kinds at equal timestamps, so logs are
+// byte-identical across runs regardless of collection order.
+func eventRank(event string) int {
+	switch event {
+	case "mode":
+		return 0
+	case "death":
+		return 1
+	case "link":
+		return 2
+	case "latency":
+		return 3
+	case "result":
+		return 4
+	case "sample":
+		return 5
+	default:
+		return 6
+	}
+}
+
+// lessRecord is the deterministic log order: time first, then event
+// kind, then the identifying labels. Same-instant records from
+// different collection passes (mode spans vs results vs samples) would
+// otherwise land in map- or callback-dependent order.
+func lessRecord(a, b LogRecord) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if ra, rb := eventRank(a.Event), eventRank(b.Event); ra != rb {
+		return ra < rb
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.Frame < b.Frame
 }
 
 // RunLogged simulates the first `until` seconds of an experiment with
 // tracing enabled and writes one JSON record per event to w, ordered by
-// time. It returns the number of records written.
+// (time, event kind, labels). It returns the number of records written.
 func RunLogged(id ID, p Params, until float64, w io.Writer) (int, error) {
+	return writeRunLog(id, p, until, w, false)
+}
+
+// RunTelemetry is RunLogged with the telemetry subsystem attached: on
+// top of the mode/result/death events it logs every serial transaction
+// ("link"), each result's end-to-end frame latency ("latency") and the
+// periodic sampler series ("sample": battery state of charge and
+// availability, port backlogs, kernel queue depth). Only the pipeline
+// experiments (1…2C) can be logged.
+func RunTelemetry(id ID, p Params, until float64, w io.Writer) (int, error) {
+	return writeRunLog(id, p, until, w, true)
+}
+
+func writeRunLog(id ID, p Params, until float64, w io.Writer, telemetry bool) (int, error) {
+	records, err := collectRunLog(id, p, until, telemetry)
+	if err != nil {
+		return 0, err
+	}
+	enc := json.NewEncoder(w)
+	for _, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return 0, err
+		}
+	}
+	return len(records), nil
+}
+
+// collectRunLog runs the bounded window and gathers the records in
+// deterministic order.
+func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord, error) {
 	if until <= 0 {
-		return 0, fmt.Errorf("core: non-positive log window %v", until)
+		return nil, fmt.Errorf("core: non-positive log window %v", until)
+	}
+	switch id {
+	case Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C:
+	default:
+		return nil, fmt.Errorf("core: experiment %q cannot be event-logged (pipeline experiments 1…2C only)", id)
 	}
 	stages, opts := stagesFor(id, p)
 	opts.trace = true
-	rig := buildPipeline(p, stages, opts)
+	opts.instrument = telemetry
 
 	var records []LogRecord
+	if telemetry {
+		opts.onTransfer = func(ev serial.TransferEvent) {
+			records = append(records, LogRecord{
+				T: float64(ev.T), Event: "link",
+				From: ev.From, To: ev.To,
+				Kind: ev.Kind.String(), KB: ev.KB, DurS: ev.DurS,
+			})
+		}
+	}
+	rig := buildPipeline(p, stages, opts)
+
 	rig.Host.OnResult = func(r host.Result) {
 		rig.lastResult = rig.K.Now()
 		records = append(records, LogRecord{
 			T: float64(r.At), Event: "result", Frame: r.Frame, From: r.From,
 		})
+		if telemetry {
+			records = append(records, LogRecord{
+				T: float64(r.At), Event: "latency", Frame: r.Frame,
+				From: r.From, Value: rig.Host.Latency(r),
+			})
+		}
 	}
 	rig.Start()
 	rig.K.RunUntil(sim.Time(until))
@@ -72,14 +185,18 @@ func RunLogged(id ID, p Params, until float64, w io.Writer) (int, error) {
 			})
 		}
 	}
-	rig.K.Stop()
-
-	sort.SliceStable(records, func(i, j int) bool { return records[i].T < records[j].T })
-	enc := json.NewEncoder(w)
-	for _, r := range records {
-		if err := enc.Encode(r); err != nil {
-			return 0, err
+	if telemetry {
+		for _, s := range rig.Metrics.Snapshot().Series {
+			for _, pt := range s.Samples {
+				records = append(records, LogRecord{
+					T: float64(pt.T), Event: "sample",
+					Node: s.Node, Metric: s.Name, Value: pt.V,
+				})
+			}
 		}
 	}
-	return len(records), nil
+	rig.K.Stop()
+
+	sort.SliceStable(records, func(i, j int) bool { return lessRecord(records[i], records[j]) })
+	return records, nil
 }

@@ -7,6 +7,7 @@ package host
 import (
 	"fmt"
 
+	"dvsim/internal/metrics"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
 )
@@ -39,6 +40,10 @@ type Host struct {
 	// MaxFrames, when > 0, stops the source after that many frames
 	// (bounded studies; 0 runs until Stop or battery exhaustion).
 	MaxFrames int
+	// Metrics, when non-nil, receives host-side telemetry: end-to-end
+	// frame latency, frames sent/dropped and the source-side backlog.
+	// Set it before Start.
+	Metrics *metrics.Registry
 
 	// Targets lists the pipeline nodes' ports in physical ring order;
 	// Alive reports whether a target can still accept frames.
@@ -47,6 +52,11 @@ type Host struct {
 
 	srcPort  *serial.Port
 	sinkPort *serial.Port
+
+	latencyS   *metrics.Histogram
+	sentCtr    *metrics.Counter
+	droppedCtr *metrics.Counter
+	queueDepth *metrics.Gauge
 
 	// FramesSent counts frames the source actually delivered.
 	FramesSent int
@@ -80,8 +90,17 @@ func New(k *sim.Kernel, net *serial.Network) *Host {
 // SinkPort is where pipeline nodes address final results.
 func (h *Host) SinkPort() *serial.Port { return h.sinkPort }
 
+// latencyBuckets bound the end-to-end frame latency histogram: from one
+// pipeline traversal (a few seconds at D = 2.3 s) up to long post-death
+// backlogs.
+var latencyBuckets = []float64{2.5, 5, 7.5, 10, 15, 20, 30, 60, 120}
+
 // Start spawns the source and sink processes.
 func (h *Host) Start() {
+	h.latencyS = h.Metrics.Histogram("host_frame_latency_s", "", latencyBuckets)
+	h.sentCtr = h.Metrics.Counter("host_frames_sent", "")
+	h.droppedCtr = h.Metrics.Counter("host_frames_dropped", "")
+	h.queueDepth = h.Metrics.Gauge("host_queue_depth", "")
 	h.k.Spawn("host-src", h.runSource)
 	h.k.Spawn("host-sink", h.runSink)
 }
@@ -127,11 +146,14 @@ func (h *Host) runSource(p *sim.Proc) {
 		target := h.pickTarget(frame)
 		if target == nil {
 			h.FramesDropped++
+			h.droppedCtr.Inc()
 			continue
 		}
-		if q := target.Pending() + 1; q > h.MaxQueue {
+		q := target.Pending() + 1
+		if q > h.MaxQueue {
 			h.MaxQueue = q
 		}
+		h.queueDepth.Set(float64(q))
 		// Deliver from a dedicated process so pacing never blocks on a
 		// busy node; the port preserves posting order.
 		frame := frame
@@ -147,6 +169,7 @@ func (h *Host) runSource(p *sim.Proc) {
 			err := h.srcPort.Send(p, target, msg)
 			if err == nil {
 				h.FramesSent++
+				h.sentCtr.Inc()
 			}
 		})
 	}
@@ -167,6 +190,12 @@ func (h *Host) pickTarget(frame int) *serial.Port {
 	return nil
 }
 
+// Latency is the end-to-end frame latency of a result: arrival at the
+// sink minus the instant the frame entered the system (frame·D).
+func (h *Host) Latency(r Result) float64 {
+	return float64(r.At) - float64(r.Frame)*h.D
+}
+
 // runSink accepts results forever.
 func (h *Host) runSink(p *sim.Proc) {
 	for {
@@ -176,6 +205,7 @@ func (h *Host) runSink(p *sim.Proc) {
 		}
 		r := Result{Frame: msg.Frame, At: p.Now(), From: msg.From, Payload: msg.Payload}
 		h.Results = append(h.Results, r)
+		h.latencyS.Observe(h.Latency(r))
 		if h.OnResult != nil {
 			h.OnResult(r)
 		}

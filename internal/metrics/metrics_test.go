@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"testing"
+
+	"dvsim/internal/sim"
+)
+
+func TestCounterSemantics(t *testing.T) {
+	r := New(sim.NewKernel())
+	c := r.Counter("events", "node1")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if r.Counter("events", "node1") != c {
+		t.Fatal("same key returned a different counter")
+	}
+	if r.Counter("events", "node2") == c {
+		t.Fatal("different node shared a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := New(sim.NewKernel())
+	g := r.Gauge("depth", "")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+	if r.Gauge("depth", "") != g {
+		t.Fatal("same key returned a different gauge")
+	}
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	r := New(sim.NewKernel())
+	h := r.Histogram("latency", "node1", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.0, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 16 {
+		t.Fatalf("sum = %v, want 16", h.Sum())
+	}
+	if h.Mean() != 3.2 {
+		t.Fatalf("mean = %v, want 3.2", h.Mean())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("%d histograms in snapshot", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	// Buckets: ≤1, ≤2, ≤5, +Inf. Observations 0.5 and 1.0 land in ≤1.
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range hv.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", hv.Counts, want)
+		}
+	}
+	if hv.Min != 0.5 || hv.Max != 10 {
+		t.Fatalf("min/max = %v/%v, want 0.5/10", hv.Min, hv.Max)
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %v, want bucket bound 2", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Fatalf("p100 = %v, want observed max 10", q)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	r := New(sim.NewKernel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds accepted")
+		}
+	}()
+	r.Histogram("bad", "", []float64{2, 1})
+}
+
+// TestSamplerCadence verifies that samples are taken on the simulation
+// clock: one at registration, one per period, one final at Stop.
+func TestSamplerCadence(t *testing.T) {
+	k := sim.NewKernel()
+	r := New(k)
+	level := 0.0
+	s := r.Sample("soc", "node1", 2, func() float64 { return level })
+	k.Spawn("load", func(p *sim.Proc) {
+		// Increment at t = 0.5, 1.5, …, 4.5, between sampler ticks.
+		if p.Wait(0.5) != nil {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			level += 1
+			if p.Wait(1) != nil {
+				return
+			}
+		}
+	})
+	k.After(5, func() { r.StopSamplers() })
+	k.RunUntil(5)
+
+	got := s.Series()
+	want := []SamplePoint{{0, 0}, {2, 2}, {4, 4}, {5, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Stopped samplers keep no events queued: the kernel drains.
+	k.Run()
+	if !k.Idle() {
+		t.Fatal("stopped sampler left events queued")
+	}
+}
+
+// TestSamplerKeepsQueueAliveUntilStopped documents the contract that a
+// live sampler is a self-rescheduling event source.
+func TestSamplerKeepsQueueAliveUntilStopped(t *testing.T) {
+	k := sim.NewKernel()
+	r := New(k)
+	s := r.Sample("x", "", 1, func() float64 { return 0 })
+	k.RunUntil(10)
+	if k.Idle() {
+		t.Fatal("live sampler should keep an event queued")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if !k.Idle() {
+		t.Fatal("Stop left events queued")
+	}
+	if n := len(s.Series()); n != 11 {
+		t.Fatalf("%d samples over 10 s at period 1, want 11", n)
+	}
+}
+
+// TestDisabledRegistryIsFree asserts the zero-overhead-when-disabled
+// contract: every operation on a nil registry and its nil instruments
+// is a no-op and allocates nothing.
+func TestDisabledRegistryIsFree(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry claims enabled")
+	}
+	c := r.Counter("a", "b")
+	g := r.Gauge("a", "b")
+	h := r.Histogram("a", "b", []float64{1})
+	s := r.Sample("a", "b", 1, func() float64 { return 0 })
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(3)
+		s.Stop()
+		r.StopSamplers()
+		_ = c.Value()
+		_ = g.Value()
+		_ = h.Count()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instruments allocate %v per op bundle", allocs)
+	}
+	if !r.Snapshot().Empty() {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := New(sim.NewKernel())
+	r.Counter("b", "node2").Inc()
+	r.Counter("a", "node1").Inc()
+	r.Counter("a", "node0").Inc()
+	r.Gauge("z", "").Set(1)
+	r.Gauge("y", "").Set(2)
+	snap := r.Snapshot()
+	if snap.Counters[0].Name != "a" || snap.Counters[0].Node != "node0" ||
+		snap.Counters[1].Node != "node1" || snap.Counters[2].Name != "b" {
+		t.Fatalf("counters unsorted: %+v", snap.Counters)
+	}
+	if snap.Gauges[0].Name != "y" {
+		t.Fatalf("gauges unsorted: %+v", snap.Gauges)
+	}
+}
+
+func TestGaugeUnsetExcludedFromSnapshot(t *testing.T) {
+	r := New(sim.NewKernel())
+	r.Gauge("never-set", "")
+	if n := len(r.Snapshot().Gauges); n != 0 {
+		t.Fatalf("%d gauges in snapshot, want 0 (never set)", n)
+	}
+}
+
+// BenchmarkDisabledCounter measures the disabled-path cost: it must stay
+// at a nil check so tier-1 benchmarks are unaffected by instrumentation.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x", "")
+	h := r.Histogram("y", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dvsim/internal/atr"
 	"dvsim/internal/cpu"
+	"dvsim/internal/metrics"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
 )
@@ -64,6 +65,21 @@ type Config struct {
 	// profile — the simulation models the SA-1100's speed, not the host
 	// machine's — but the data genuinely flows through the pipeline.
 	Exec func(span atr.Span, in any) any
+	// Metrics, when non-nil, receives per-node telemetry: RECV/PROC/SEND
+	// phase latency histograms, DVS switch and rotation/migration
+	// counters. Nil disables recording at near-zero cost.
+	Metrics *metrics.Registry
+}
+
+// phaseBuckets are the histogram bounds for per-frame phase latencies,
+// in seconds, spanning sub-transaction times up to several frame delays.
+var phaseBuckets = []float64{0.05, 0.1, 0.2, 0.5, 1, 1.5, 2, 3, 5, 10}
+
+// instruments are a node's labeled telemetry handles; with metrics
+// disabled every field is a nil no-op.
+type instruments struct {
+	recvS, procS, sendS                    *metrics.Histogram
+	frames, results, rotations, migrations *metrics.Counter
 }
 
 // Node is one Itsy computer in the pipeline.
@@ -90,6 +106,7 @@ type Node struct {
 	carry *carriedFrame
 
 	proc *sim.Proc
+	met  instruments
 
 	// Stats.
 	FramesProcessed int // PROC executions completed
@@ -118,7 +135,18 @@ func New(k *sim.Kernel, net *serial.Network, pw *Power, cfg Config, roles []Role
 	name := fmt.Sprintf("node%d", phys+1)
 	own := make([]Role, len(roles))
 	copy(own, roles)
+	pw.SetMetrics(cfg.Metrics, name)
+	met := instruments{
+		recvS:      cfg.Metrics.Histogram("node_recv_s", name, phaseBuckets),
+		procS:      cfg.Metrics.Histogram("node_proc_s", name, phaseBuckets),
+		sendS:      cfg.Metrics.Histogram("node_send_s", name, phaseBuckets),
+		frames:     cfg.Metrics.Counter("node_frames_processed", name),
+		results:    cfg.Metrics.Counter("node_results_sent", name),
+		rotations:  cfg.Metrics.Counter("node_rotations", name),
+		migrations: cfg.Metrics.Counter("node_migrations", name),
+	}
 	return &Node{
+		met:   met,
 		Name:  name,
 		k:     k,
 		net:   net,
@@ -188,6 +216,7 @@ func (n *Node) run(p *sim.Proc) {
 			return
 		}
 		n.FramesProcessed++
+		n.met.frames.Inc()
 
 		// Rotation trigger (§5.5): the node holding role r rotates after
 		// processing frame f with (f + r) ≡ 0 (mod R). Since role r works
@@ -205,21 +234,26 @@ func (n *Node) run(p *sim.Proc) {
 			n.carry = &carriedFrame{frame: frame, payload: out}
 			n.roleIdx = (n.roleIdx + 1) % len(n.roles)
 			n.Rotations++
+			n.met.rotations.Inc()
 			n.idle()
 			continue
 		}
+		ts := p.Now()
 		ok, migratedFrame := n.sendOutput(p, frame, out)
 		if !ok {
 			return
 		}
+		n.met.sendS.Observe(float64(p.Now() - ts))
 		if n.Role().Index == len(n.roles) && !migratedFrame {
 			n.ResultsSent++
+			n.met.results.Inc()
 		}
 		if rotating && last {
 			// The last node becomes the first (§5.5): next iteration it
 			// receives a fresh frame from the host.
 			n.roleIdx = (n.roleIdx + 1) % len(n.roles)
 			n.Rotations++
+			n.met.rotations.Inc()
 		}
 		n.idle()
 	}
@@ -233,6 +267,7 @@ func (n *Node) runNoIO(p *sim.Proc) {
 			return
 		}
 		n.FramesProcessed++
+		n.met.frames.Inc()
 	}
 }
 
@@ -245,6 +280,7 @@ func (n *Node) obtainInput(p *sim.Proc) (frame int, payload any, ok bool) {
 		n.carry = nil
 		return frame, payload, true
 	}
+	t0 := p.Now()
 	for {
 		n.idle() // blocked waiting is idle time
 		msg, err := n.port.RecvOpts(p, serial.RxOpts{
@@ -266,6 +302,7 @@ func (n *Node) obtainInput(p *sim.Proc) (frame int, payload any, ok bool) {
 					return 0, nil, false
 				}
 			}
+			n.met.recvS.Observe(float64(p.Now() - t0))
 			return msg.Frame, msg.Payload, true
 		case errors.Is(err, sim.ErrTimeout):
 			// Upstream is dead: absorb its span and continue (§5.4).
@@ -302,11 +339,13 @@ func (n *Node) acceptKind(m serial.Message) bool {
 // native stage function to the payload when one is configured. ok is
 // false on interruption (death).
 func (n *Node) process(p *sim.Proc, span atr.Span, at cpu.OperatingPoint, in any, out *any) bool {
+	t0 := p.Now()
 	n.power.Transition(cpu.Compute, at)
 	work := cpu.ScaledTime(n.cfg.Prof.RefSeconds(span), at)
 	if err := p.Wait(sim.Duration(work)); err != nil {
 		return false
 	}
+	n.met.procS.Observe(float64(p.Now() - t0))
 	if n.cfg.Exec != nil {
 		*out = n.cfg.Exec(span, in)
 	}
@@ -366,6 +405,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, migrated boo
 		ok, _ = n.sendOutput(p, frame, out)
 		if ok {
 			n.ResultsSent++
+			n.met.results.Inc()
 		}
 		return ok, true
 	default:
@@ -411,6 +451,7 @@ func (n *Node) migrateFrom(p *sim.Proc, deadPhys int) (absorbed atr.Span, ok boo
 	}}
 	n.roleIdx = 0
 	n.Migrations++
+	n.met.migrations.Inc()
 	return deadRole.Span, true
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
+	"dvsim/internal/metrics"
 	"dvsim/internal/sim"
 )
 
@@ -38,6 +39,12 @@ type Power struct {
 	// traceOn records every constant-power span, for timeline figures.
 	traceOn bool
 	trace   []ModeSpan
+
+	// Labeled telemetry counters; nil (no-op) unless SetMetrics is
+	// called.
+	dvsSwitches     *metrics.Counter
+	modeTransitions *metrics.Counter
+	chargeMAs       *metrics.Counter
 }
 
 // ModeSpan is one constant-mode, constant-point span of a node's
@@ -61,6 +68,15 @@ func NewPower(k *sim.Kernel, c *cpu.CPU, bat battery.Model) *Power {
 	}
 	pw.arm()
 	return pw
+}
+
+// SetMetrics installs labeled telemetry counters for the node that owns
+// this meter: DVS operating-point switches, CPU mode transitions and
+// delivered charge. A nil registry leaves the no-op counters in place.
+func (pw *Power) SetMetrics(r *metrics.Registry, nodeName string) {
+	pw.dvsSwitches = r.Counter("node_dvs_switches", nodeName)
+	pw.modeTransitions = r.Counter("node_mode_transitions", nodeName)
+	pw.chargeMAs = r.Counter("battery_delivered_mas", nodeName)
 }
 
 // Battery exposes the metered battery.
@@ -96,6 +112,7 @@ func (pw *Power) settle() {
 	ran := pw.bat.Drain(i, dt)
 	pw.modeTime[pw.cpu.Mode()] += ran
 	pw.modeCharge[pw.cpu.Mode()] += i * ran
+	pw.chargeMAs.Add(i * ran)
 	if pw.traceOn {
 		start := now - sim.Time(dt)
 		pw.trace = append(pw.trace, ModeSpan{
@@ -149,6 +166,12 @@ func (pw *Power) die() {
 // the battery for the segment just ended and re-arming the death event.
 func (pw *Power) Transition(m cpu.Mode, op cpu.OperatingPoint) {
 	pw.settle()
+	if m != pw.cpu.Mode() {
+		pw.modeTransitions.Inc()
+	}
+	if op != pw.cpu.Point() {
+		pw.dvsSwitches.Inc()
+	}
 	pw.cpu.SetMode(m)
 	pw.cpu.SetPoint(op)
 	pw.arm()

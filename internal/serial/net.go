@@ -1,8 +1,11 @@
 package serial
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
+	"dvsim/internal/metrics"
 	"dvsim/internal/sim"
 )
 
@@ -79,6 +82,23 @@ type offer struct {
 	done      *sim.Chan[struct{}]
 }
 
+// PortStats is one port's transfer accounting, split by direction. The
+// Tx side counts transactions this port initiated; the Rx side counts
+// transactions accepted here. StartupS is the cumulative per-transaction
+// setup latency paid by this port's sends (§4.3's 50–100 ms overhead),
+// the quantity the recovery protocol's extra acks inflate.
+type PortStats struct {
+	TxTransfers int
+	TxKB        float64
+	TxStartupS  float64
+	TxTimeouts  int // sends abandoned before the receiver accepted
+	TxAcks      int // bare acknowledgment transactions sent
+	RxTransfers int
+	RxKB        float64
+	RxTimeouts  int // receives that expired waiting for a message
+	MaxPending  int // high-water mark of senders queued at this port
+}
+
 // Port is one serial endpoint. Senders address the receiving port
 // directly (the host's forwarding is implicit in the timing model).
 // Each port is owned by a single receiving process.
@@ -87,10 +107,41 @@ type Port struct {
 	name    string
 	pending []*offer
 	arrival *sim.Chan[struct{}]
+	stats   PortStats
+	inst    *portInstruments
 }
 
 // Name returns the port name.
 func (pt *Port) Name() string { return pt.name }
+
+// Stats returns a copy of the port's transfer accounting.
+func (pt *Port) Stats() PortStats { return pt.stats }
+
+// portInstruments caches the port's labeled metrics handles. With
+// metrics disabled every field is a nil, no-op instrument.
+type portInstruments struct {
+	txTransfers, txKB, txStartupS, txTimeouts *metrics.Counter
+	rxTransfers, rxKB, rxTimeouts             *metrics.Counter
+	pendingDepth                              *metrics.Gauge
+}
+
+// met returns (building on first use) the port's metric handles.
+func (pt *Port) met() *portInstruments {
+	if pt.inst == nil {
+		r := pt.net.reg
+		pt.inst = &portInstruments{
+			txTransfers:  r.Counter("serial_tx_transfers", pt.name),
+			txKB:         r.Counter("serial_tx_kb", pt.name),
+			txStartupS:   r.Counter("serial_tx_startup_s", pt.name),
+			txTimeouts:   r.Counter("serial_tx_timeouts", pt.name),
+			rxTransfers:  r.Counter("serial_rx_transfers", pt.name),
+			rxKB:         r.Counter("serial_rx_kb", pt.name),
+			rxTimeouts:   r.Counter("serial_rx_timeouts", pt.name),
+			pendingDepth: r.Gauge("serial_pending_depth", pt.name),
+		}
+	}
+	return pt.inst
+}
 
 // Pending returns the number of senders waiting at this port.
 func (pt *Port) Pending() int {
@@ -124,11 +175,27 @@ type RxOpts struct {
 	OnStart func()
 }
 
+// TransferEvent describes one completed transaction, for telemetry
+// streams (the run log's "link" events).
+type TransferEvent struct {
+	// T is the completion time.
+	T sim.Time
+	// From and To are the sending and receiving port names.
+	From, To string
+	Kind     Kind
+	KB       float64
+	// DurS is the wire time, startup included.
+	DurS float64
+}
+
 // Network creates and tracks ports sharing one link timing model.
 type Network struct {
 	k      *sim.Kernel
 	Params LinkParams
 	ports  map[string]*Port
+	reg    *metrics.Registry
+	// OnTransfer, when set, observes every completed transaction.
+	OnTransfer func(TransferEvent)
 	// Stats.
 	transfers int
 	kbMoved   float64
@@ -138,6 +205,12 @@ type Network struct {
 func NewNetwork(k *sim.Kernel, params LinkParams) *Network {
 	return &Network{k: k, Params: params, ports: make(map[string]*Port)}
 }
+
+// SetMetrics installs the registry the network's ports record into.
+// Call it before traffic flows; a nil registry (the default) disables
+// recording. Per-port PortStats are always kept — they are plain
+// integer fields with negligible cost.
+func (n *Network) SetMetrics(r *metrics.Registry) { n.reg = r }
 
 // Port returns (creating on first use) the named port.
 func (n *Network) Port(name string) *Port {
@@ -154,6 +227,17 @@ func (n *Network) Transfers() int { return n.transfers }
 
 // KBMoved returns the total payload carried, in KB.
 func (n *Network) KBMoved() float64 { return n.kbMoved }
+
+// Ports returns every port created so far, sorted by name for
+// deterministic export.
+func (n *Network) Ports() []*Port {
+	out := make([]*Port, 0, len(n.ports))
+	for _, p := range n.ports {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
 
 // Send performs one transaction delivering msg to dst: it blocks until
 // the receiver accepts, then for the transaction time. The returned
@@ -182,19 +266,32 @@ func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error
 		done:     sim.NewChan[struct{}](p.Kernel(), "done"),
 	}
 	dst.pending = append(dst.pending, of)
+	if q := dst.Pending(); q > dst.stats.MaxPending {
+		dst.stats.MaxPending = q
+	}
+	dst.met().pendingDepth.Set(float64(dst.Pending()))
 	dst.arrival.Send(struct{}{})
 	if _, err := of.accepted.RecvDeadline(p, deadline); err != nil {
 		// Withdraw: a late accept must be ignored.
 		of.withdrawn = true
 		of.done.Close()
+		if errors.Is(err, sim.ErrTimeout) {
+			pt.stats.TxTimeouts++
+			pt.met().txTimeouts.Inc()
+		}
 		return err
 	}
 	if opts.OnStart != nil {
 		opts.OnStart()
 	}
 	dur := sim.Duration(pt.net.Params.TxTime(msg.KB))
+	startup := 0.0
+	if msg.KB > 0 {
+		startup = pt.net.Params.StartupS
+	}
 	if msg.Kind == KindAck {
 		dur = sim.Duration(pt.net.Params.AckTime())
+		startup = pt.net.Params.AckTime()
 	}
 	if err := p.Wait(dur); err != nil {
 		// Sender died mid-transfer; the receiver never sees completion.
@@ -202,8 +299,40 @@ func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error
 	}
 	pt.net.transfers++
 	pt.net.kbMoved += msg.KB
+	pt.accountTx(msg, startup)
+	dst.accountRx(msg)
+	if f := pt.net.OnTransfer; f != nil {
+		f(TransferEvent{
+			T: p.Now(), From: pt.name, To: dst.name,
+			Kind: msg.Kind, KB: msg.KB, DurS: float64(dur),
+		})
+	}
 	of.done.Send(struct{}{})
 	return nil
+}
+
+// accountTx credits a completed send to the sending port.
+func (pt *Port) accountTx(msg Message, startup float64) {
+	pt.stats.TxTransfers++
+	pt.stats.TxKB += msg.KB
+	pt.stats.TxStartupS += startup
+	if msg.Kind == KindAck {
+		pt.stats.TxAcks++
+	}
+	m := pt.met()
+	m.txTransfers.Inc()
+	m.txKB.Add(msg.KB)
+	m.txStartupS.Add(startup)
+}
+
+// accountRx credits a completed receive to the accepting port.
+func (pt *Port) accountRx(msg Message) {
+	pt.stats.RxTransfers++
+	pt.stats.RxKB += msg.KB
+	m := pt.met()
+	m.rxTransfers.Inc()
+	m.rxKB.Add(msg.KB)
+	m.pendingDepth.Set(float64(pt.Pending()))
 }
 
 // Recv accepts the next transaction at this port and blocks until the
@@ -261,6 +390,10 @@ func (pt *Port) RecvOpts(p *sim.Proc, opts RxOpts) (Message, error) {
 		// whole queue, so consuming a signal for a non-matching offer
 		// cannot lose messages.
 		if _, err := pt.arrival.RecvDeadline(p, deadline); err != nil {
+			if errors.Is(err, sim.ErrTimeout) {
+				pt.stats.RxTimeouts++
+				pt.met().rxTimeouts.Inc()
+			}
 			return Message{}, err
 		}
 	}

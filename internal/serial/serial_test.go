@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dvsim/internal/metrics"
 	"dvsim/internal/sim"
 )
 
@@ -337,5 +338,107 @@ func TestIrDALinkIsStrictlyWorse(t *testing.T) {
 	}
 	if ir.AckTime() <= ser.AckTime() {
 		t.Error("IR turnaround should make acks costlier")
+	}
+}
+
+func TestPortStatsAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b := net.Port("a"), net.Port("b")
+	k.Spawn("s", func(p *sim.Proc) {
+		a.Send(p, b, Message{Kind: KindFrame, KB: 10.1})
+		a.Send(p, b, Message{Kind: KindAck})
+	})
+	k.Spawn("r", func(p *sim.Proc) {
+		b.Recv(p)
+		b.Recv(p)
+	})
+	k.Run()
+
+	as, bs := a.Stats(), b.Stats()
+	if as.TxTransfers != 2 || as.TxAcks != 1 {
+		t.Fatalf("a tx stats %+v, want 2 transfers, 1 ack", as)
+	}
+	if math.Abs(as.TxKB-10.1) > 1e-9 {
+		t.Fatalf("a TxKB = %v, want 10.1 (acks carry no payload)", as.TxKB)
+	}
+	// Startup time is paid once per transaction (ack = startup only).
+	wantStartup := net.Params.StartupS + net.Params.AckTime()
+	if math.Abs(as.TxStartupS-wantStartup) > 1e-6 {
+		t.Fatalf("a TxStartupS = %v, want %v", as.TxStartupS, wantStartup)
+	}
+	if bs.RxTransfers != 2 || math.Abs(bs.RxKB-10.1) > 1e-9 {
+		t.Fatalf("b rx stats %+v, want 2 transfers / 10.1 KB", bs)
+	}
+	if bs.TxTransfers != 0 || as.RxTransfers != 0 {
+		t.Fatal("stats credited to the wrong side")
+	}
+}
+
+func TestPortStatsTimeoutsAndPending(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b, c := net.Port("a"), net.Port("b"), net.Port("c")
+	// Receiver that never shows up: the send times out.
+	k.Spawn("s1", func(p *sim.Proc) {
+		if err := a.SendDeadline(p, b, Message{KB: 1}, 2); !errors.Is(err, sim.ErrTimeout) {
+			t.Errorf("send err = %v, want timeout", err)
+		}
+	})
+	// Sender that never shows up: the recv times out.
+	k.Spawn("r1", func(p *sim.Proc) {
+		if _, err := c.RecvDeadline(p, 3); !errors.Is(err, sim.ErrTimeout) {
+			t.Errorf("recv err = %v, want timeout", err)
+		}
+	})
+	k.Run()
+	if got := a.Stats().TxTimeouts; got != 1 {
+		t.Fatalf("TxTimeouts = %d, want 1", got)
+	}
+	if got := c.Stats().RxTimeouts; got != 1 {
+		t.Fatalf("RxTimeouts = %d, want 1", got)
+	}
+	if got := b.Stats().MaxPending; got != 1 {
+		t.Fatalf("MaxPending = %d, want 1 (the abandoned offer was queued)", got)
+	}
+}
+
+func TestNetworkMetricsAndOnTransfer(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	reg := metrics.New(k)
+	net.SetMetrics(reg)
+	var events []TransferEvent
+	net.OnTransfer = func(ev TransferEvent) { events = append(events, ev) }
+	a, b := net.Port("a"), net.Port("b")
+	k.Spawn("s", func(p *sim.Proc) { a.Send(p, b, Message{Kind: KindInter, KB: 0.6}) })
+	k.Spawn("r", func(p *sim.Proc) { b.Recv(p) })
+	k.Run()
+
+	if len(events) != 1 {
+		t.Fatalf("OnTransfer fired %d times, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.From != "a" || ev.To != "b" || ev.Kind != KindInter {
+		t.Fatalf("event %+v", ev)
+	}
+	if math.Abs(ev.DurS-net.Params.TxTime(0.6)) > 1e-9 {
+		t.Fatalf("DurS = %v, want %v", ev.DurS, net.Params.TxTime(0.6))
+	}
+	snap := reg.Snapshot()
+	find := func(name, node string) float64 {
+		for _, cv := range snap.Counters {
+			if cv.Name == name && cv.Node == node {
+				return cv.Value
+			}
+		}
+		t.Fatalf("counter %s{%s} missing from snapshot", name, node)
+		return 0
+	}
+	if v := find("serial_tx_transfers", "a"); v != 1 {
+		t.Fatalf("serial_tx_transfers{a} = %v, want 1", v)
+	}
+	if v := find("serial_rx_kb", "b"); math.Abs(v-0.6) > 1e-9 {
+		t.Fatalf("serial_rx_kb{b} = %v, want 0.6", v)
 	}
 }

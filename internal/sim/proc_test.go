@@ -263,6 +263,48 @@ func TestRecorderFilter(t *testing.T) {
 	}
 }
 
+func TestRecorderNilFilterKeepsAll(t *testing.T) {
+	k := NewKernel()
+	rec := &Recorder{}
+	k.SetTracer(rec)
+	k.Spawn("a", func(p *Proc) {})
+	k.Spawn("b", func(p *Proc) {})
+	k.Run()
+	seen := map[string]bool{}
+	for _, r := range rec.Records {
+		seen[r.Proc] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("nil filter dropped records: saw %v", seen)
+	}
+}
+
+func TestKernelStats(t *testing.T) {
+	k := NewKernel()
+	if k.Scheduled() != 0 || k.Fired() != 0 || k.QueueLen() != 0 || k.MaxQueueLen() != 0 {
+		t.Fatal("fresh kernel has non-zero stats")
+	}
+	for i := 0; i < 3; i++ {
+		k.At(Time(i+1), func() {})
+	}
+	if k.Scheduled() != 3 {
+		t.Fatalf("Scheduled = %d, want 3", k.Scheduled())
+	}
+	if k.QueueLen() != 3 {
+		t.Fatalf("QueueLen = %d, want 3", k.QueueLen())
+	}
+	k.Run()
+	if k.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", k.Fired())
+	}
+	if k.QueueLen() != 0 {
+		t.Fatalf("QueueLen after run = %d, want 0", k.QueueLen())
+	}
+	if k.MaxQueueLen() < 3 {
+		t.Fatalf("MaxQueueLen = %d, want >= 3", k.MaxQueueLen())
+	}
+}
+
 func TestProcStateString(t *testing.T) {
 	cases := map[ProcState]string{
 		StateCreated: "created",

@@ -90,6 +90,10 @@ type Kernel struct {
 
 	// fired counts events executed, for diagnostics and run limits.
 	fired uint64
+	// scheduled counts events ever queued, for telemetry.
+	scheduled uint64
+	// maxQueue is the high-water mark of the event heap.
+	maxQueue int
 	// limit aborts runaway simulations; 0 means no limit.
 	limit uint64
 }
@@ -104,6 +108,21 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Scheduled returns the number of events ever queued (fired, pending or
+// canceled).
+func (k *Kernel) Scheduled() uint64 { return k.scheduled }
+
+// QueueLen returns the number of events currently queued, including
+// canceled entries not yet drained.
+func (k *Kernel) QueueLen() int { return len(k.queue) }
+
+// MaxQueueLen returns the high-water mark of the event queue.
+func (k *Kernel) MaxQueueLen() int { return k.maxQueue }
+
+// LiveProcs returns the number of spawned processes that have not
+// finished.
+func (k *Kernel) LiveProcs() int { return len(k.procs) }
 
 // SetEventLimit aborts Run with a panic after n events have fired.
 // It is a guard against runaway simulations in tests; n = 0 disables it.
@@ -124,7 +143,11 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	}
 	e := &Event{t: t, seq: k.seq, fn: fn, index: -1}
 	k.seq++
+	k.scheduled++
 	heap.Push(&k.queue, e)
+	if len(k.queue) > k.maxQueue {
+		k.maxQueue = len(k.queue)
+	}
 	return e
 }
 

@@ -7,6 +7,7 @@
 //	dvsim -run 2C -telemetry out.jsonl [-until SECONDS]
 //	dvsim -metrics [-run 2B]   # instrumented run, metrics snapshot as CSV
 //	dvsim -ports               # per-port serial accounting as CSV
+//	dvsim -exp 2D -faults scenario.json   # fault injection (see scenarios/)
 package main
 
 import (
@@ -17,11 +18,12 @@ import (
 
 	"dvsim/internal/battery"
 	"dvsim/internal/core"
+	"dvsim/internal/fault"
 	"dvsim/internal/report"
 )
 
 func main() {
-	expFlag := flag.String("exp", "", "single experiment to run (0A, 0B, 1, 1A, 2, 2A, 2B, 2C)")
+	expFlag := flag.String("exp", "", "single experiment to run (0A, 0B, 1, 1A, 2, 2A, 2B, 2C, 2D)")
 	runFlag := flag.String("run", "", "alias for -exp")
 	rotation := flag.Int("rotation", 0, "override rotation period for 2C (frames)")
 	batFlag := flag.String("battery", "twowell", "battery model: twowell, ideal, peukert, kibam")
@@ -34,6 +36,7 @@ func main() {
 	until := flag.Float64("until", 0, "simulated window in seconds for -telemetry (0 = 30 h, past every battery death)")
 	metricsFlag := flag.Bool("metrics", false, "run instrumented and print each experiment's metrics snapshot as CSV")
 	portsFlag := flag.Bool("ports", false, "print per-port serial accounting as CSV")
+	faultsFile := flag.String("faults", "", "load a JSON fault scenario (link drop/garble, node crashes, battery variance) and inject it into the run")
 	paramsFile := flag.String("params", "", "load a JSON platform config instead of the calibrated Itsy defaults")
 	dump := flag.Bool("dumpparams", false, "write the default platform config as JSON and exit")
 	flag.Parse()
@@ -66,6 +69,14 @@ func main() {
 	}
 	if *rotation > 0 {
 		p.RotationPeriod = *rotation
+	}
+	if *faultsFile != "" {
+		sc, err := fault.LoadFile(*faultsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p.Faults = sc
 	}
 	switch *batFlag {
 	case "twowell":
@@ -171,10 +182,18 @@ func main() {
 		fmt.Printf("%-4s %-44s %6d %9.2f %9.2f %9d %7d %8.2f %7.0f%%\n",
 			o.ID, o.Label, o.Nodes, o.BatteryLifeH, core.PaperHours(o.ID),
 			o.Frames, core.PaperFrames(o.ID), o.TnormH, o.Rnorm*100)
+		if fs := o.FaultStats; fs.Total() > 0 {
+			fmt.Printf("     · faults injected: %d drops, %d garbles, %d crashes, %d restarts\n",
+				fs.Drops, fs.Garbles, fs.Crashes, fs.Restarts)
+		}
 		for _, ns := range o.NodeStats {
-			fmt.Printf("     · %-8s died %6.2fh  proc %6d  results %6d  rot %4d  mig %d  %6.1f mAh  SoC %4.0f%%  (idle %.0fs comm %.0fs compute %.0fs)\n",
+			extra := ""
+			if ns.Crashes > 0 || ns.FramesAbandoned > 0 {
+				extra = fmt.Sprintf("  crash %d/%d  abandoned %d", ns.Crashes, ns.Restarts, ns.FramesAbandoned)
+			}
+			fmt.Printf("     · %-8s died %6.2fh  proc %6d  results %6d  rot %4d  mig %d  %6.1f mAh  SoC %4.0f%%  (idle %.0fs comm %.0fs compute %.0fs)%s\n",
 				ns.Name, ns.DiedAtH, ns.FramesProcessed, ns.ResultsSent, ns.Rotations,
-				ns.Migrations, ns.DeliveredMAh, ns.FinalSoC*100, ns.IdleS, ns.CommS, ns.ComputeS)
+				ns.Migrations, ns.DeliveredMAh, ns.FinalSoC*100, ns.IdleS, ns.CommS, ns.ComputeS, extra)
 		}
 	}
 }

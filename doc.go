@@ -5,11 +5,14 @@
 // with rate-capacity and recovery effects — together with the automatic
 // target recognition workload and the four distributed DVS techniques the
 // paper evaluates: DVS during I/O, partitioning, power-failure recovery,
-// and node rotation.
+// and node rotation. Beyond the paper, a deterministic fault-injection
+// engine (internal/fault, scenarios/) subjects the recovery machinery to
+// seeded link faults, node crashes and battery variance, recovered by
+// bounded serial retransmission and workload migration (experiment 2D).
 //
 // The library lives under internal/ (sim, cpu, battery, serial, atr,
-// node, host, core, sched, report); executables under cmd/ (dvsim,
-// paperbench, calibrate, atr); runnable examples under examples/. The
-// benchmarks in this directory regenerate every table and figure of the
-// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+// node, host, core, fault, metrics, sched, report); executables under
+// cmd/ (dvsim, paperbench, calibrate, atr); runnable examples under
+// examples/. The benchmarks in this directory regenerate every table and
+// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
 package dvsim

@@ -1,0 +1,68 @@
+package battery
+
+import "fmt"
+
+// Capacity scaling models per-pack manufacturing variance: real packs of
+// the same part ship within a tolerance band of nominal capacity, and the
+// fault-injection scenarios (internal/fault) use that spread to study how
+// unevenly matched nodes fail. Scaling multiplies the charge axis only —
+// rate parameters (reference currents, diffusion flows) describe the
+// chemistry and stay put.
+
+// CapacityScaler is implemented by models whose nominal capacity can be
+// rescaled before a run.
+type CapacityScaler interface {
+	// ScaleCapacity multiplies the pack's capacity by factor (> 0) and
+	// resets it to full and rested.
+	ScaleCapacity(factor float64)
+}
+
+// ScaleCapacity rescales a model's capacity by factor, resetting it to
+// full. It reports whether the model supports scaling; factor 1 is a
+// no-op that leaves the model's state untouched.
+func ScaleCapacity(m Model, factor float64) bool {
+	if factor == 1 {
+		return true
+	}
+	s, ok := m.(CapacityScaler)
+	if ok {
+		s.ScaleCapacity(factor)
+	}
+	return ok
+}
+
+func checkScale(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("battery: capacity scale %v", factor))
+	}
+}
+
+// ScaleCapacity implements CapacityScaler.
+func (b *Ideal) ScaleCapacity(factor float64) {
+	checkScale(factor)
+	b.CapacityMAh *= factor
+	b.Reset()
+}
+
+// ScaleCapacity implements CapacityScaler.
+func (b *Peukert) ScaleCapacity(factor float64) {
+	checkScale(factor)
+	b.CapacityMAh *= factor
+	b.Reset()
+}
+
+// ScaleCapacity implements CapacityScaler.
+func (b *KiBaM) ScaleCapacity(factor float64) {
+	checkScale(factor)
+	b.CapacityMAh *= factor
+	b.Reset()
+}
+
+// ScaleCapacity implements CapacityScaler. Both wells scale: a smaller
+// pack has proportionally less apparent charge.
+func (b *TwoWell) ScaleCapacity(factor float64) {
+	checkScale(factor)
+	b.CapacityMAh *= factor
+	b.AvailMAh *= factor
+	b.Reset()
+}

@@ -35,6 +35,10 @@ type PlatformConfig struct {
 	RotationPeriod int `json:"rotation_period"`
 	// AckTimeoutS is the recovery protocol's detection timeout.
 	AckTimeoutS float64 `json:"ack_timeout_s"`
+	// Retry is the serial retransmit policy applied when a fault
+	// scenario is active (see internal/fault); the zero value disables
+	// retransmission.
+	Retry serial.RetryPolicy `json:"retry"`
 }
 
 // PowerCurve is one mode's current model.
@@ -67,6 +71,7 @@ func DefaultPlatformConfig() PlatformConfig {
 		Battery:        DefaultItsyBatteryParams(),
 		RotationPeriod: p.RotationPeriod,
 		AckTimeoutS:    p.AckTimeoutS,
+		Retry:          p.Retry,
 	}
 }
 
@@ -112,6 +117,9 @@ func (pc PlatformConfig) Params() (Params, error) {
 	if rotation < 0 {
 		return Params{}, fmt.Errorf("core: rotation_period %d", rotation)
 	}
+	if err := pc.Retry.Validate(); err != nil {
+		return Params{}, err
+	}
 	return Params{
 		Profile:        pc.Profile,
 		Link:           pc.Link,
@@ -121,6 +129,7 @@ func (pc PlatformConfig) Params() (Params, error) {
 		Battery:        func() battery.Model { return bat.New() },
 		RotationPeriod: rotation,
 		AckTimeoutS:    pc.AckTimeoutS,
+		Retry:          pc.Retry,
 	}, nil
 }
 

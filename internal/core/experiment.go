@@ -6,6 +6,7 @@ import (
 	"dvsim/internal/atr"
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
+	"dvsim/internal/fault"
 	"dvsim/internal/host"
 	"dvsim/internal/metrics"
 	"dvsim/internal/node"
@@ -27,10 +28,15 @@ const (
 	Exp2A ID = "2A" // distributed DVS during I/O
 	Exp2B ID = "2B" // distributed DVS with power-failure recovery
 	Exp2C ID = "2C" // distributed DVS with node rotation
+	// Exp2D extends the suite beyond the paper: the 2B recovery
+	// configuration under injected link faults (internal/fault), with
+	// bounded retransmission recovering dropped and garbled transfers.
+	Exp2D ID = "2D"
 )
 
-// AllExperiments lists the suite in the paper's order.
-var AllExperiments = []ID{Exp0A, Exp0B, Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C}
+// AllExperiments lists the suite in the paper's order, with the
+// fault-recovery extension 2D last.
+var AllExperiments = []ID{Exp0A, Exp0B, Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C, Exp2D}
 
 // Fig10Experiments lists the experiments the paper's Fig 10 charts
 // (0A/0B are excluded: without I/O or a performance constraint they are
@@ -56,6 +62,8 @@ func Label(id ID) string {
 		return "Distributed DVS with power failure recovery"
 	case Exp2C:
 		return "Distributed DVS with node rotation"
+	case Exp2D:
+		return "Distributed DVS recovery under link faults"
 	default:
 		return string(id)
 	}
@@ -118,6 +126,9 @@ type NodeStat struct {
 	ResultsSent     int
 	Rotations       int
 	Migrations      int
+	Crashes         int // injected crash outages
+	Restarts        int // recoveries from injected crashes
+	FramesAbandoned int // frames written off after a spent retransmit budget
 	DeliveredMAh    float64
 	FinalSoC        float64
 	// Per-mode seconds.
@@ -144,7 +155,10 @@ type Outcome struct {
 	Rnorm  float64
 	// FramesDropped counts source frames no node accepted in time.
 	FramesDropped int
-	NodeStats     []NodeStat
+	// FaultStats counts the faults an active scenario injected; zero
+	// when the run had no fault injection.
+	FaultStats fault.Stats
+	NodeStats  []NodeStat
 	// PortStats is the per-port transfer accounting of the run's serial
 	// network, sorted by port name.
 	PortStats []PortStat
@@ -189,7 +203,21 @@ func run(id ID, p Params, instrument bool) Outcome {
 	default:
 		stages, opts := stagesFor(id, p)
 		opts.instrument = instrument
+		if p.Faults != nil {
+			opts.faults = p.Faults
+		}
 		return runPipeline(id, p, stages, opts)
+	}
+}
+
+// DefaultFaultScenario is experiment 2D's built-in link-fault load: a
+// seeded 2% drop / 1% garble rate on every link, which the default
+// retransmit budget absorbs almost entirely. Override it with
+// Params.Faults (dvsim -faults).
+func DefaultFaultScenario() *fault.Scenario {
+	return &fault.Scenario{
+		Seed:  42,
+		Links: []fault.LinkFault{{DropRate: 0.02, GarbleRate: 0.01}},
 	}
 }
 
@@ -236,6 +264,13 @@ func stagesFor(id ID, p Params) ([]stageSetup, pipelineOpts) {
 			{s.Stages[0].Span, s.Stages[0].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
 			{s.Stages[1].Span, s.Stages[1].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
 		}, pipelineOpts{rotation: p.RotationPeriod}
+	case Exp2D:
+		// The 2B recovery configuration with the wire made hostile:
+		// seeded link faults, recovered by bounded retransmission.
+		return []stageSetup{
+			{mustSpan(p, 0), cpu.PointAt(73.7), cpu.MinPoint, cpu.OperatingPoint{}},
+			{mustSpan(p, 1), cpu.PointAt(118.0), cpu.MinPoint, cpu.OperatingPoint{}},
+		}, pipelineOpts{ack: true, faults: DefaultFaultScenario()}
 	default:
 		panic(fmt.Sprintf("core: unknown experiment %q", id))
 	}
@@ -349,6 +384,8 @@ type pipelineOpts struct {
 	samplePeriodS float64
 	// onTransfer observes every completed serial transaction.
 	onTransfer func(serial.TransferEvent)
+	// faults, when non-nil, injects the scenario into the run.
+	faults *fault.Scenario
 }
 
 // Native carries the real-workload hooks for native pipeline execution:
@@ -371,6 +408,9 @@ type Rig struct {
 	// Metrics is the rig's instrumentation registry; nil when the run is
 	// uninstrumented.
 	Metrics *metrics.Registry
+	// Injector is the run's fault engine; nil when no scenario is
+	// active.
+	Injector *fault.Injector
 
 	lastResult sim.Time
 }
@@ -388,11 +428,23 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 	net := serial.NewNetwork(k, p.Link)
 	net.SetMetrics(reg)
 	net.OnTransfer = opts.onTransfer
+	var inj *fault.Injector
+	rp := p.Retry
+	if opts.faults != nil {
+		// MustInjector: a scenario that reaches here was validated at
+		// load time, so a failure is a programming error.
+		inj = fault.MustInjector(*opts.faults)
+		net.Fault = inj
+		if rpo := opts.faults.Retry; rpo != nil {
+			rp = *rpo
+		}
+	}
 	h := host.New(k, net)
 	h.D = p.FrameDelayS
 	h.FrameKB = p.Profile.InputKB
 	h.RotationPeriod = opts.rotation
 	h.Metrics = reg
+	h.Retry = rp
 
 	cfg := node.Config{
 		Prof:           p.Profile,
@@ -400,6 +452,7 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 		RotationPeriod: opts.rotation,
 		Ack:            opts.ack,
 		AckTimeoutS:    p.AckTimeoutS,
+		Retry:          rp,
 		Metrics:        reg,
 	}
 	h.MaxFrames = opts.maxFrames
@@ -418,7 +471,11 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 	nodes := make([]*node.Node, len(stages))
 	for i := range stages {
 		c := cpu.New(p.Power, roles[i].Comm)
-		pw := node.NewPower(k, c, p.Battery())
+		bat := p.Battery()
+		// Per-node capacity variance is applied before metering starts,
+		// so the death prediction sees the scaled pack.
+		battery.ScaleCapacity(bat, opts.faults.CapacityScale(fmt.Sprintf("node%d", i+1)))
+		pw := node.NewPower(k, c, bat)
 		if opts.trace {
 			pw.EnableTrace()
 		}
@@ -430,10 +487,17 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 	for _, n := range nodes {
 		h.Targets = append(h.Targets, n.Port())
 		n := n
-		h.Alive = append(h.Alive, func() bool { return !n.Dead() })
+		h.Alive = append(h.Alive, n.Available)
+	}
+	if inj != nil {
+		targets := make(map[string]fault.CrashTarget, len(nodes))
+		for _, n := range nodes {
+			targets[n.Name] = n
+		}
+		inj.Arm(k, targets)
 	}
 
-	rig := &Rig{K: k, Net: net, Host: h, Nodes: nodes, Metrics: reg}
+	rig := &Rig{K: k, Net: net, Host: h, Nodes: nodes, Metrics: reg, Injector: inj}
 	if reg != nil {
 		period := opts.samplePeriodS
 		if period <= 0 {
@@ -456,9 +520,13 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 		allDead := true
 		anyDead := false
 		for _, n := range nodes {
-			if n.Dead() {
+			// A crash outage counts toward stall detection (a
+			// permanently crashed node never produces again) but not
+			// toward allDead: its battery still holds charge.
+			if !n.Available() {
 				anyDead = true
-			} else {
+			}
+			if !n.Dead() {
 				allDead = false
 			}
 		}
@@ -508,6 +576,7 @@ func (r *Rig) outcome(id ID, p Params) Outcome {
 		BatteryLifeH:  float64(frames) * p.FrameDelayS / 3600,
 		WallH:         float64(r.lastResult) / 3600,
 		FramesDropped: r.Host.FramesDropped,
+		FaultStats:    r.Injector.Stats(),
 		PortStats:     portStatsOf(r.Net),
 		Metrics:       r.Metrics.Snapshot(),
 	}
@@ -552,6 +621,9 @@ type Options struct {
 	// Instrument attaches the telemetry subsystem (see RunInstrumented);
 	// the snapshot lands in Outcome.Metrics.
 	Instrument bool
+	// Faults, when non-nil, injects the scenario into the run (see
+	// internal/fault); it takes precedence over Params.Faults.
+	Faults *fault.Scenario
 }
 
 // RunCustom simulates a custom pipeline to system exhaustion: one node
@@ -570,6 +642,10 @@ func RunCustom(label string, p Params, stages []StageConfig, opts Options) Outco
 	for i, s := range stages {
 		ss[i] = stageSetup{span: s.Span, compute: s.Compute, comm: s.Comm, idle: s.Idle}
 	}
+	faults := opts.Faults
+	if faults == nil {
+		faults = p.Faults
+	}
 	out := runPipeline(ID(label), p, ss, pipelineOpts{
 		ack:        opts.Ack,
 		rotation:   opts.RotationPeriod,
@@ -577,6 +653,7 @@ func RunCustom(label string, p Params, stages []StageConfig, opts Options) Outco
 		maxFrames:  opts.MaxFrames,
 		onResult:   opts.OnResult,
 		instrument: opts.Instrument,
+		faults:     faults,
 	})
 	out.Label = label
 	return out
@@ -629,6 +706,9 @@ func statOf(n *node.Node) NodeStat {
 		ResultsSent:     n.ResultsSent,
 		Rotations:       n.Rotations,
 		Migrations:      n.Migrations,
+		Crashes:         n.Crashes,
+		Restarts:        n.Restarts,
+		FramesAbandoned: n.FramesAbandoned,
 		DeliveredMAh:    pw.Battery().DeliveredMAh(),
 		FinalSoC:        pw.Battery().StateOfCharge(),
 		IdleS:           pw.ModeSeconds(cpu.Idle),
@@ -660,7 +740,12 @@ func RunSuiteParallel(ids []ID, p Params, workers int) []Outcome {
 		}
 	}
 	if t1 == 0 {
-		t1 = Run(Exp1, p).BatteryLifeH
+		// The implicit baseline exists purely to anchor Rnorm; it runs
+		// fault-free so a scenario aimed at the pipeline under test does
+		// not distort the reference lifetime.
+		pb := p
+		pb.Faults = nil
+		t1 = Run(Exp1, pb).BatteryLifeH
 	}
 	for i := range outs {
 		outs[i].TnormH = outs[i].BatteryLifeH / float64(outs[i].Nodes)

@@ -10,6 +10,7 @@ import (
 	"dvsim/internal/atr"
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
+	"dvsim/internal/fault"
 	"dvsim/internal/serial"
 )
 
@@ -41,6 +42,14 @@ type Params struct {
 	// scheme (§5.4). Chosen as a small multiple of the ack transaction
 	// cost.
 	AckTimeoutS float64
+	// Retry bounds retransmission of faulted serial transfers; it only
+	// matters when a fault scenario is active (without one no transfer
+	// ever faults). A scenario's own retry policy overrides it.
+	Retry serial.RetryPolicy
+	// Faults, when non-nil, injects the scenario into every run: link
+	// drop/garble, node crashes and battery capacity variance. It also
+	// overrides experiment 2D's built-in scenario.
+	Faults *fault.Scenario
 }
 
 // DefaultParams returns the platform as calibrated against the paper.
@@ -54,6 +63,7 @@ func DefaultParams() Params {
 		Battery:        DefaultItsyBattery,
 		RotationPeriod: 100,
 		AckTimeoutS:    0.5,
+		Retry:          serial.DefaultRetryPolicy(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"dvsim/internal/fault"
 	"dvsim/internal/host"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
@@ -20,7 +21,9 @@ type LogRecord struct {
 	// T is the simulated time in seconds.
 	T float64 `json:"t"`
 	// Event is "mode", "result" or "death" for plain logs; telemetry
-	// logs add "sample", "link" and "latency".
+	// logs add "sample", "link", "latency" and — when a fault scenario
+	// is active — "fault" (an injected drop/garble/crash/restart) and
+	// "retry" (a scheduled retransmission).
 	Event string `json:"event"`
 	// Node is the acting node ("node1", …); empty for host events. For
 	// sample events it is the sampler's node label.
@@ -41,10 +44,17 @@ type LogRecord struct {
 	Metric string  `json:"metric,omitempty"`
 	Value  float64 `json:"value,omitempty"`
 	// Kind, KB and DurS describe a link event's transaction: message
-	// kind, payload size and wire time (startup included).
+	// kind, payload size and wire time (startup included). Kind also
+	// tags fault and retry events with the affected message kind.
 	Kind string  `json:"kind,omitempty"`
 	KB   float64 `json:"kb,omitempty"`
 	DurS float64 `json:"dur_s,omitempty"`
+	// Fault is the injected fault kind ("drop", "garble", "crash",
+	// "restart") of fault events, and the cause of retry events.
+	Fault string `json:"fault,omitempty"`
+	// Attempt is the failed transmission a retry event recovers from
+	// (1-based); its backoff duration rides in Value.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // eventRank orders event kinds at equal timestamps, so logs are
@@ -55,16 +65,20 @@ func eventRank(event string) int {
 		return 0
 	case "death":
 		return 1
-	case "link":
+	case "fault":
 		return 2
-	case "latency":
+	case "retry":
 		return 3
-	case "result":
+	case "link":
 		return 4
-	case "sample":
+	case "latency":
 		return 5
-	default:
+	case "result":
 		return 6
+	case "sample":
+		return 7
+	default:
+		return 8
 	}
 }
 
@@ -91,7 +105,10 @@ func lessRecord(a, b LogRecord) bool {
 	if a.To != b.To {
 		return a.To < b.To
 	}
-	return a.Frame < b.Frame
+	if a.Frame != b.Frame {
+		return a.Frame < b.Frame
+	}
+	return a.Attempt < b.Attempt
 }
 
 // RunLogged simulates the first `until` seconds of an experiment with
@@ -103,10 +120,12 @@ func RunLogged(id ID, p Params, until float64, w io.Writer) (int, error) {
 
 // RunTelemetry is RunLogged with the telemetry subsystem attached: on
 // top of the mode/result/death events it logs every serial transaction
-// ("link"), each result's end-to-end frame latency ("latency") and the
+// ("link"), each result's end-to-end frame latency ("latency"), the
 // periodic sampler series ("sample": battery state of charge and
-// availability, port backlogs, kernel queue depth). Only the pipeline
-// experiments (1…2C) can be logged.
+// availability, port backlogs, kernel queue depth) and — when a fault
+// scenario is active — every injected fault ("fault") and scheduled
+// retransmission ("retry"). Only the pipeline experiments (1…2D) can be
+// logged.
 func RunTelemetry(id ID, p Params, until float64, w io.Writer) (int, error) {
 	return writeRunLog(id, p, until, w, true)
 }
@@ -132,13 +151,16 @@ func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord,
 		return nil, fmt.Errorf("core: non-positive log window %v", until)
 	}
 	switch id {
-	case Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C:
+	case Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C, Exp2D:
 	default:
-		return nil, fmt.Errorf("core: experiment %q cannot be event-logged (pipeline experiments 1…2C only)", id)
+		return nil, fmt.Errorf("core: experiment %q cannot be event-logged (pipeline experiments 1…2D only)", id)
 	}
 	stages, opts := stagesFor(id, p)
 	opts.trace = true
 	opts.instrument = telemetry
+	if p.Faults != nil {
+		opts.faults = p.Faults
+	}
 
 	var records []LogRecord
 	if telemetry {
@@ -151,6 +173,26 @@ func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord,
 		}
 	}
 	rig := buildPipeline(p, stages, opts)
+	if telemetry {
+		if rig.Injector != nil {
+			rig.Injector.OnFault = func(ev fault.Event) {
+				records = append(records, LogRecord{
+					T: float64(ev.T), Event: "fault", Fault: ev.Kind,
+					Node: ev.Node, From: ev.From, To: ev.To,
+					Kind: ev.MsgKind, Frame: ev.Frame,
+				})
+			}
+		}
+		rig.Net.OnRetry = func(ev serial.RetryEvent) {
+			records = append(records, LogRecord{
+				T: float64(ev.T), Event: "retry",
+				From: ev.From, To: ev.To,
+				Kind: ev.Kind.String(), Frame: ev.Frame,
+				Attempt: ev.Attempt, Value: ev.BackoffS,
+				Fault: ev.Cause.String(),
+			})
+		}
+	}
 
 	rig.Host.OnResult = func(r host.Result) {
 		rig.lastResult = rig.K.Now()

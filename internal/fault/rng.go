@@ -1,0 +1,25 @@
+package fault
+
+// rng is a splitmix64 pseudo-random stream. It is self-contained (no
+// dependency on math/rand's algorithms, which are not guaranteed stable
+// across Go releases) so a scenario's seed pins its fault sequence
+// forever. splitmix64 passes BigCrush and is the canonical seeder of
+// the xoshiro family; a single 64-bit state is plenty for Bernoulli
+// fault draws.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64-bit output.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

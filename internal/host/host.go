@@ -40,6 +40,9 @@ type Host struct {
 	// MaxFrames, when > 0, stops the source after that many frames
 	// (bounded studies; 0 runs until Stop or battery exhaustion).
 	MaxFrames int
+	// Retry bounds retransmission of faulted frame deliveries (see
+	// internal/fault); the zero value disables retransmission.
+	Retry serial.RetryPolicy
 	// Metrics, when non-nil, receives host-side telemetry: end-to-end
 	// frame latency, frames sent/dropped and the source-side backlog.
 	// Set it before Start.
@@ -166,10 +169,15 @@ func (h *Host) runSource(p *sim.Proc) {
 			if h.MakeFrame != nil {
 				msg.Payload = h.MakeFrame(frame)
 			}
-			err := h.srcPort.Send(p, target, msg)
-			if err == nil {
+			err := h.srcPort.SendReliable(p, target, msg, serial.TxOpts{}, h.Retry)
+			switch {
+			case err == nil:
 				h.FramesSent++
 				h.sentCtr.Inc()
+			case serial.IsFault(err):
+				// The wire ate the frame past the retransmit budget.
+				h.FramesDropped++
+				h.droppedCtr.Inc()
 			}
 		})
 	}

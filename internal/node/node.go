@@ -65,6 +65,10 @@ type Config struct {
 	// profile — the simulation models the SA-1100's speed, not the host
 	// machine's — but the data genuinely flows through the pipeline.
 	Exec func(span atr.Span, in any) any
+	// Retry bounds retransmission of faulted transfers (drop/garble
+	// injected by internal/fault). The zero value disables
+	// retransmission; see serial.DefaultRetryPolicy.
+	Retry serial.RetryPolicy
 	// Metrics, when non-nil, receives per-node telemetry: RECV/PROC/SEND
 	// phase latency histograms, DVS switch and rotation/migration
 	// counters. Nil disables recording at near-zero cost.
@@ -80,6 +84,7 @@ var phaseBuckets = []float64{0.05, 0.1, 0.2, 0.5, 1, 1.5, 2, 3, 5, 10}
 type instruments struct {
 	recvS, procS, sendS                    *metrics.Histogram
 	frames, results, rotations, migrations *metrics.Counter
+	crashes, restarts, abandoned           *metrics.Counter
 }
 
 // Node is one Itsy computer in the pipeline.
@@ -108,11 +113,16 @@ type Node struct {
 	proc *sim.Proc
 	met  instruments
 
+	crashed bool // injected-crash outage in progress
+
 	// Stats.
 	FramesProcessed int // PROC executions completed
 	ResultsSent     int // final results delivered to the host
 	Rotations       int
 	Migrations      int
+	Crashes         int      // injected crashes applied
+	Restarts        int      // recoveries from injected crashes
+	FramesAbandoned int      // frames given up after a spent retransmit budget
 	DeadAt          sim.Time // battery exhaustion time; 0 if alive
 	peerDead        []bool   // detected failures, by physical index
 }
@@ -144,6 +154,9 @@ func New(k *sim.Kernel, net *serial.Network, pw *Power, cfg Config, roles []Role
 		results:    cfg.Metrics.Counter("node_results_sent", name),
 		rotations:  cfg.Metrics.Counter("node_rotations", name),
 		migrations: cfg.Metrics.Counter("node_migrations", name),
+		crashes:    cfg.Metrics.Counter("node_crashes", name),
+		restarts:   cfg.Metrics.Counter("node_restarts", name),
+		abandoned:  cfg.Metrics.Counter("node_frames_abandoned", name),
 	}
 	return &Node{
 		met:   met,
@@ -178,6 +191,49 @@ func (n *Node) Role() Role { return n.roles[n.roleIdx] }
 
 // Dead reports whether the node's battery is exhausted.
 func (n *Node) Dead() bool { return n.power.Dead() }
+
+// Crashed reports whether an injected crash outage is in progress.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// Available reports whether the node is running: neither dead nor in a
+// crash outage. Peers use it to distinguish a genuinely failed neighbor
+// from one that is merely slow (retransmitting).
+func (n *Node) Available() bool { return !n.Dead() && !n.crashed }
+
+// Crash applies an injected outage (fault.CrashTarget): the node's
+// process is interrupted, and its battery rests at zero draw until
+// Restart. It reports whether it applied — a dead or already-crashed
+// node cannot crash.
+func (n *Node) Crash() bool {
+	if n.crashed || n.Dead() {
+		return false
+	}
+	n.crashed = true
+	n.Crashes++
+	n.met.crashes.Inc()
+	n.power.Suspend()
+	if n.proc != nil && !n.proc.Done() {
+		n.proc.Interrupt("crash")
+	}
+	return true
+}
+
+// Restart ends an injected outage (fault.CrashTarget): metering
+// resumes, any carried frame is lost, and a fresh process re-enters the
+// frame loop in the node's current role. It reports whether it applied —
+// only a crashed, non-dead node can restart.
+func (n *Node) Restart() bool {
+	if !n.crashed || n.Dead() {
+		return false
+	}
+	n.crashed = false
+	n.Restarts++
+	n.met.restarts.Inc()
+	n.power.Resume()
+	n.carry = nil
+	n.proc = n.k.Spawn(n.Name, n.run)
+	return true
+}
 
 // Proc returns the node's simulation process (nil before Start).
 func (n *Node) Proc() *sim.Proc { return n.proc }
@@ -239,12 +295,12 @@ func (n *Node) run(p *sim.Proc) {
 			continue
 		}
 		ts := p.Now()
-		ok, migratedFrame := n.sendOutput(p, frame, out)
+		ok, handled := n.sendOutput(p, frame, out)
 		if !ok {
 			return
 		}
 		n.met.sendS.Observe(float64(p.Now() - ts))
-		if n.Role().Index == len(n.roles) && !migratedFrame {
+		if n.Role().Index == len(n.roles) && !handled {
 			n.ResultsSent++
 			n.met.results.Inc()
 		}
@@ -281,31 +337,43 @@ func (n *Node) obtainInput(p *sim.Proc) (frame int, payload any, ok bool) {
 		return frame, payload, true
 	}
 	t0 := p.Now()
+	grace := false
 	for {
 		n.idle() // blocked waiting is idle time
 		msg, err := n.port.RecvOpts(p, serial.RxOpts{
 			Deadline: n.recvDeadline(p),
 			Match:    n.acceptKind,
 			OnStart:  n.commStart,
+			OnAbort:  n.idle, // faulted transfer discarded; back to waiting
 		})
 		n.idle()
 		switch {
 		case err == nil:
 			if n.cfg.Ack && msg.Kind == serial.KindInter {
-				// Acknowledge the transfer (§5.4).
+				// Acknowledge the transfer (§5.4), retransmitting a
+				// faulted ack within the budget. An exhausted budget
+				// keeps the frame anyway — the sender abandons or
+				// migrates on its own timeout.
 				src := n.ring[n.upstreamPhys()]
-				err := n.port.SendOpts(p, src.Port(), serial.Message{
+				err := n.port.SendReliable(p, src.Port(), serial.Message{
 					Kind: serial.KindAck, Frame: msg.Frame,
-				}, serial.TxOpts{OnStart: n.commStart})
+				}, serial.TxOpts{OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
 				n.idle()
-				if err != nil {
+				if err != nil && !serial.IsFault(err) && !errors.Is(err, serial.ErrRetriesExhausted) {
 					return 0, nil, false
 				}
 			}
 			n.met.recvS.Observe(float64(p.Now() - t0))
 			return msg.Frame, msg.Payload, true
 		case errors.Is(err, sim.ErrTimeout):
-			// Upstream is dead: absorb its span and continue (§5.4).
+			// No data within the detection window. A peer that is alive
+			// (merely slow: backoffs, a transient outage it already
+			// recovered from) gets one grace window; after that — or
+			// when the peer is dead or crashed — it is absorbed (§5.4).
+			if !grace && n.ring[n.upstreamPhys()].Available() {
+				grace = true
+				continue
+			}
 			if _, ok := n.migrateFrom(p, n.upstreamPhys()); !ok {
 				return 0, nil, false
 			}
@@ -357,27 +425,37 @@ func (n *Node) process(p *sim.Proc, span atr.Span, at cpu.OperatingPoint, in any
 // host for the last role, the intermediate payload to the ring successor
 // otherwise. With Ack enabled, internode sends wait for the ack and treat
 // a timeout as peer death, migrating the dead peer's span here and
-// finishing the current frame locally. migrated reports that path (the
-// frame's result was counted inside the recursive completion).
-func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, migrated bool) {
+// finishing the current frame locally. handled reports that the frame's
+// result accounting was resolved internally — counted inside the
+// recursive migration completion, or written off as abandoned after a
+// spent retransmit budget.
+func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool) {
 	role := n.Role()
 	if role.Index == len(n.roles) {
-		err := n.port.SendOpts(p, n.hostSink, serial.Message{
+		err := n.port.SendReliable(p, n.hostSink, serial.Message{
 			Kind: serial.KindResult, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload,
-		}, serial.TxOpts{OnStart: n.commStart})
+		}, serial.TxOpts{OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
 		n.idle()
+		if err != nil && (serial.IsFault(err) || errors.Is(err, serial.ErrRetriesExhausted)) {
+			return true, n.abandon()
+		}
 		return err == nil, false
 	}
 	dst := n.ring[n.downstreamPhys()]
 	msg := serial.Message{Kind: serial.KindInter, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload}
 	if !n.cfg.Ack {
-		err := n.port.SendOpts(p, dst.Port(), msg, serial.TxOpts{OnStart: n.commStart})
+		err := n.port.SendReliable(p, dst.Port(), msg,
+			serial.TxOpts{OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
 		n.idle()
+		if err != nil && (serial.IsFault(err) || errors.Is(err, serial.ErrRetriesExhausted)) {
+			return true, n.abandon()
+		}
 		return err == nil, false
 	}
 	// Recovery protocol: deliver, then await the ack.
 	deadline := p.Now() + sim.Time(n.cfg.D+n.cfg.AckTimeoutS)
-	err := n.port.SendOpts(p, dst.Port(), msg, serial.TxOpts{Deadline: deadline, OnStart: n.commStart})
+	err := n.port.SendReliable(p, dst.Port(), msg,
+		serial.TxOpts{Deadline: deadline, OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
 	n.idle()
 	if err == nil {
 		ackDeadline := p.Now() + sim.Time(n.cfg.AckTimeoutS)
@@ -385,15 +463,26 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, migrated boo
 			Deadline: ackDeadline,
 			Match:    func(m serial.Message) bool { return m.Kind == serial.KindAck },
 			OnStart:  n.commStart,
+			OnAbort:  n.idle,
 		})
 		n.idle()
 	}
 	switch {
 	case err == nil:
 		return true, false
+	case serial.IsFault(err), errors.Is(err, serial.ErrRetriesExhausted):
+		// The wire ate the frame past the retransmit budget; write it
+		// off and move on rather than stall the pipeline.
+		return true, n.abandon()
 	case errors.Is(err, sim.ErrTimeout):
-		// Downstream is dead: absorb its span, finish this frame's
-		// remaining blocks locally, and deliver the result (§5.4/§6.6).
+		// No ack within the window. A peer that is alive is merely slow
+		// (or the ack itself was lost past its budget): abandon the
+		// frame and continue. A dead or crashed peer is absorbed, this
+		// frame's remaining blocks finished locally, and the result
+		// delivered (§5.4/§6.6).
+		if dst.Available() {
+			return true, n.abandon()
+		}
 		absorbed, ok := n.migrateFrom(p, n.downstreamPhys())
 		if !ok {
 			return false, false
@@ -411,6 +500,14 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, migrated boo
 	default:
 		return false, false
 	}
+}
+
+// abandon writes off the in-flight frame and always reports true, so
+// callers can fold it into their handled result.
+func (n *Node) abandon() bool {
+	n.FramesAbandoned++
+	n.met.abandoned.Inc()
+	return true
 }
 
 // migrateFrom absorbs the span of the dead physical peer into this node's

@@ -24,9 +24,10 @@ type Power struct {
 	cpu *cpu.CPU
 	bat battery.Model
 
-	lastT sim.Time
-	death *sim.Event
-	dead  bool
+	lastT     sim.Time
+	death     *sim.Event
+	dead      bool
+	suspended bool
 
 	// OnDeath is invoked exactly once, at the instant the battery
 	// empties. It typically interrupts the node's process.
@@ -88,6 +89,9 @@ func (pw *Power) CPU() *cpu.CPU { return pw.cpu }
 // Dead reports whether the battery has emptied.
 func (pw *Power) Dead() bool { return pw.dead }
 
+// Suspended reports whether metering is halted by Suspend.
+func (pw *Power) Suspended() bool { return pw.suspended }
+
 // ModeSeconds returns the accumulated time in mode m.
 func (pw *Power) ModeSeconds(m cpu.Mode) float64 { return pw.modeTime[m] }
 
@@ -106,6 +110,13 @@ func (pw *Power) settle() {
 	dt := float64(now - pw.lastT)
 	pw.lastT = now
 	if dt <= 0 || pw.dead {
+		return
+	}
+	if pw.suspended {
+		// A crashed node draws nothing: the rest interval still passes
+		// through the battery model so recovery-effect chemistries
+		// (TwoWell) regain charge, but no mode time is attributed.
+		pw.bat.Drain(0, dt)
 		return
 	}
 	i := pw.cpu.CurrentMA()
@@ -135,7 +146,7 @@ func (pw *Power) arm() {
 		pw.k.Cancel(pw.death)
 		pw.death = nil
 	}
-	if pw.dead {
+	if pw.dead || pw.suspended {
 		return
 	}
 	tte := pw.bat.TimeToEmpty(pw.cpu.CurrentMA())
@@ -174,6 +185,32 @@ func (pw *Power) Transition(m cpu.Mode, op cpu.OperatingPoint) {
 	}
 	pw.cpu.SetMode(m)
 	pw.cpu.SetPoint(op)
+	pw.arm()
+}
+
+// Suspend halts metering for a crashed node: the segment so far is
+// settled, the pending death prediction is cancelled, and until Resume
+// the battery rests at zero draw.
+func (pw *Power) Suspend() {
+	if pw.dead || pw.suspended {
+		return
+	}
+	pw.settle()
+	pw.suspended = true
+	if pw.death != nil {
+		pw.k.Cancel(pw.death)
+		pw.death = nil
+	}
+}
+
+// Resume restarts metering after Suspend, settling the rest interval at
+// zero draw and re-arming the death prediction for the present draw.
+func (pw *Power) Resume() {
+	if pw.dead || !pw.suspended {
+		return
+	}
+	pw.settle()
+	pw.suspended = false
 	pw.arm()
 }
 

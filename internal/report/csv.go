@@ -16,7 +16,8 @@ func CSV(outs []core.Outcome) string {
 	_ = w.Write([]string{
 		"exp", "label", "nodes", "frames", "battery_life_h", "paper_h",
 		"tnorm_h", "rnorm", "node", "died_at_h", "frames_processed",
-		"results_sent", "rotations", "migrations", "delivered_mah",
+		"results_sent", "rotations", "migrations", "crashes", "restarts",
+		"frames_abandoned", "delivered_mah",
 		"final_soc", "idle_s", "comm_s", "compute_s",
 	})
 	for _, o := range outs {
@@ -34,6 +35,9 @@ func CSV(outs []core.Outcome) string {
 				fmt.Sprint(ns.ResultsSent),
 				fmt.Sprint(ns.Rotations),
 				fmt.Sprint(ns.Migrations),
+				fmt.Sprint(ns.Crashes),
+				fmt.Sprint(ns.Restarts),
+				fmt.Sprint(ns.FramesAbandoned),
 				fmt.Sprintf("%.2f", ns.DeliveredMAh),
 				fmt.Sprintf("%.4f", ns.FinalSoC),
 				fmt.Sprintf("%.1f", ns.IdleS),

@@ -37,7 +37,7 @@ func TestCSVRoundTrips(t *testing.T) {
 	if len(rows) != 4 { // header + 1 + 2 node rows
 		t.Fatalf("%d rows", len(rows))
 	}
-	if rows[0][0] != "exp" || len(rows[0]) != 19 {
+	if rows[0][0] != "exp" || len(rows[0]) != 22 {
 		t.Fatalf("header: %v", rows[0])
 	}
 	if rows[1][0] != "1" || rows[1][8] != "node1" || rows[1][4] != "6.1300" {

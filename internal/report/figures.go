@@ -111,16 +111,20 @@ func Compare(outs []core.Outcome) string {
 	}
 	for _, o := range outs {
 		ph := core.PaperHours(o.ID)
-		ratio := ""
+		// Experiments beyond the paper (2D) have no published figures;
+		// leave their paper columns blank.
+		paperH, paperF, ratio := "", "", ""
 		if ph > 0 {
+			paperH = f2(ph)
+			paperF = fmt.Sprintf("%d", core.PaperFrames(o.ID))
 			ratio = fmt.Sprintf("%.2f", o.BatteryLifeH/ph)
 		}
 		rn := ""
 		if o.Rnorm > 0 && paperRnorm[o.ID] != "" {
 			rn = fmt.Sprintf("%.0f%%", o.Rnorm*100)
 		}
-		t.Add(string(o.ID), o.Label, f2(o.BatteryLifeH), f2(ph), ratio,
-			o.Frames, core.PaperFrames(o.ID), rn, paperRnorm[o.ID])
+		t.Add(string(o.ID), o.Label, f2(o.BatteryLifeH), paperH, ratio,
+			o.Frames, paperF, rn, paperRnorm[o.ID])
 	}
 	b.WriteString(t.String())
 	return b.String()
@@ -256,8 +260,10 @@ func MarkdownCompare(outs []core.Outcome) string {
 	}
 	for _, o := range outs {
 		ph := core.PaperHours(o.ID)
-		ratio, rn := "—", "—"
+		paperH, paperF, ratio, rn := "—", "—", "—", "—"
 		if ph > 0 {
+			paperH = fmt.Sprintf("%.2f", ph)
+			paperF = fmt.Sprintf("%d", core.PaperFrames(o.ID))
 			ratio = fmt.Sprintf("%.2f", o.BatteryLifeH/ph)
 		}
 		if paperRnorm[o.ID] != "" {
@@ -265,9 +271,9 @@ func MarkdownCompare(outs []core.Outcome) string {
 		} else {
 			paperRnorm[o.ID] = "—"
 		}
-		fmt.Fprintf(&b, "| %s | %s | %.2f | %.2f | %s | %d | %d | %s | %s |\n",
-			o.ID, o.Label, o.BatteryLifeH, ph, ratio,
-			o.Frames, core.PaperFrames(o.ID), rn, paperRnorm[o.ID])
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %s | %s | %d | %s | %s | %s |\n",
+			o.ID, o.Label, o.BatteryLifeH, paperH, ratio,
+			o.Frames, paperF, rn, paperRnorm[o.ID])
 	}
 	return b.String()
 }

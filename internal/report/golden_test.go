@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dvsim/internal/core"
+	"dvsim/internal/fault"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -53,6 +54,29 @@ func TestGoldenTimelineBaseline(t *testing.T) {
 	p := core.DefaultParams()
 	tr := core.RunTraced(core.Exp1, p, 3*p.FrameDelayS)
 	checkGolden(t, "timeline_fig2", Timeline([]string{"node1"}, tr, 0, 3*p.FrameDelayS, 69))
+}
+
+// TestGoldenFaultCSV pins the CSV rendering of a deterministic
+// fault-injected run, fault columns (crashes, restarts,
+// frames_abandoned) included: the seeded scenario makes the whole row
+// reproducible byte for byte.
+func TestGoldenFaultCSV(t *testing.T) {
+	p := core.DefaultParams()
+	best, err := p.BestTwoNodeScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &fault.Scenario{
+		Seed:    7,
+		Links:   []fault.LinkFault{{DropRate: 0.05, GarbleRate: 0.02}},
+		Crashes: []fault.Crash{{Node: "node2", AtS: 100}},
+	}
+	out := core.RunCustom("2D-sample", p, core.StagesFromPartition(best, true), core.Options{
+		Ack:       true,
+		MaxFrames: 150,
+		Faults:    sc,
+	})
+	checkGolden(t, "fault_csv", CSV([]core.Outcome{out}))
 }
 
 func TestGoldenCompare(t *testing.T) {

@@ -23,7 +23,9 @@ func PortsCSV(outs []core.Outcome) string {
 	w := csv.NewWriter(&b)
 	_ = w.Write([]string{
 		"exp", "port", "tx_transfers", "tx_kb", "tx_startup_s", "tx_timeouts",
-		"tx_acks", "rx_transfers", "rx_kb", "rx_timeouts", "max_pending",
+		"tx_acks", "tx_dropped", "tx_garbled", "tx_retries", "tx_giveups",
+		"rx_transfers", "rx_kb", "rx_timeouts", "rx_dropped", "rx_garbled",
+		"max_pending",
 	})
 	for _, o := range outs {
 		for _, ps := range o.PortStats {
@@ -34,9 +36,15 @@ func PortsCSV(outs []core.Outcome) string {
 				fmt.Sprintf("%.2f", ps.TxStartupS),
 				fmt.Sprint(ps.TxTimeouts),
 				fmt.Sprint(ps.TxAcks),
+				fmt.Sprint(ps.TxDropped),
+				fmt.Sprint(ps.TxGarbled),
+				fmt.Sprint(ps.TxRetries),
+				fmt.Sprint(ps.TxGiveUps),
 				fmt.Sprint(ps.RxTransfers),
 				fmt.Sprintf("%.2f", ps.RxKB),
 				fmt.Sprint(ps.RxTimeouts),
+				fmt.Sprint(ps.RxDropped),
+				fmt.Sprint(ps.RxGarbled),
 				fmt.Sprint(ps.MaxPending),
 			})
 		}

@@ -124,7 +124,8 @@ func TestPortsCSV(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("%d rows", len(rows))
 	}
-	want := []string{"2", "node1", "10", "75.00", "0.90", "0", "0", "11", "101.00", "0", "2"}
+	want := []string{"2", "node1", "10", "75.00", "0.90", "0", "0", "0", "0", "0", "0",
+		"11", "101.00", "0", "0", "0", "2"}
 	for i, w := range want {
 		if rows[1][i] != w {
 			t.Fatalf("col %d = %q, want %q (row %v)", i, rows[1][i], w, rows[1])

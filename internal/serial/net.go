@@ -78,6 +78,7 @@ type Message struct {
 type offer struct {
 	msg       Message
 	withdrawn bool
+	fault     FaultVerdict // set when the transfer was dropped or garbled
 	accepted  *sim.Chan[struct{}]
 	done      *sim.Chan[struct{}]
 }
@@ -93,9 +94,15 @@ type PortStats struct {
 	TxStartupS  float64
 	TxTimeouts  int // sends abandoned before the receiver accepted
 	TxAcks      int // bare acknowledgment transactions sent
+	TxDropped   int // sends lost on the wire (fault injection)
+	TxGarbled   int // sends delivered corrupt and discarded (fault injection)
+	TxRetries   int // retransmissions attempted after a dropped/garbled send
+	TxGiveUps   int // reliable sends abandoned with the retry budget spent
 	RxTransfers int
 	RxKB        float64
 	RxTimeouts  int // receives that expired waiting for a message
+	RxDropped   int // accepted transfers that never arrived (drop fault)
+	RxGarbled   int // accepted transfers discarded as corrupt (garble fault)
 	MaxPending  int // high-water mark of senders queued at this port
 }
 
@@ -120,9 +127,11 @@ func (pt *Port) Stats() PortStats { return pt.stats }
 // portInstruments caches the port's labeled metrics handles. With
 // metrics disabled every field is a nil, no-op instrument.
 type portInstruments struct {
-	txTransfers, txKB, txStartupS, txTimeouts *metrics.Counter
-	rxTransfers, rxKB, rxTimeouts             *metrics.Counter
-	pendingDepth                              *metrics.Gauge
+	txTransfers, txKB, txStartupS, txTimeouts  *metrics.Counter
+	txDropped, txGarbled, txRetries, txGiveUps *metrics.Counter
+	rxTransfers, rxKB, rxTimeouts              *metrics.Counter
+	rxDropped, rxGarbled                       *metrics.Counter
+	pendingDepth                               *metrics.Gauge
 }
 
 // met returns (building on first use) the port's metric handles.
@@ -134,9 +143,15 @@ func (pt *Port) met() *portInstruments {
 			txKB:         r.Counter("serial_tx_kb", pt.name),
 			txStartupS:   r.Counter("serial_tx_startup_s", pt.name),
 			txTimeouts:   r.Counter("serial_tx_timeouts", pt.name),
+			txDropped:    r.Counter("serial_tx_dropped", pt.name),
+			txGarbled:    r.Counter("serial_tx_garbled", pt.name),
+			txRetries:    r.Counter("serial_tx_retries", pt.name),
+			txGiveUps:    r.Counter("serial_tx_giveups", pt.name),
 			rxTransfers:  r.Counter("serial_rx_transfers", pt.name),
 			rxKB:         r.Counter("serial_rx_kb", pt.name),
 			rxTimeouts:   r.Counter("serial_rx_timeouts", pt.name),
+			rxDropped:    r.Counter("serial_rx_dropped", pt.name),
+			rxGarbled:    r.Counter("serial_rx_garbled", pt.name),
 			pendingDepth: r.Gauge("serial_pending_depth", pt.name),
 		}
 	}
@@ -162,6 +177,10 @@ type TxOpts struct {
 	Deadline sim.Time
 	// OnStart is invoked at the instant the transfer begins.
 	OnStart func()
+	// OnBackoff is invoked by SendReliable at the instant a retransmit
+	// backoff begins, so callers can drop to a low-power mode while the
+	// line is quiet.
+	OnBackoff func()
 }
 
 // RxOpts modifies a receive.
@@ -173,6 +192,10 @@ type RxOpts struct {
 	Match func(Message) bool
 	// OnStart is invoked at the instant the transfer begins.
 	OnStart func()
+	// OnAbort is invoked when an accepted transfer turns out dropped or
+	// garbled and the receive goes back to waiting; like OnStart it lets
+	// callers account CPU modes precisely.
+	OnAbort func()
 }
 
 // TransferEvent describes one completed transaction, for telemetry
@@ -196,9 +219,16 @@ type Network struct {
 	reg    *metrics.Registry
 	// OnTransfer, when set, observes every completed transaction.
 	OnTransfer func(TransferEvent)
+	// Fault, when set, is consulted at the start of every transfer and
+	// may fail it (see FaultInjector). Nil is the healthy network.
+	Fault FaultInjector
+	// OnRetry, when set, observes every retransmission scheduled by
+	// SendReliable.
+	OnRetry func(RetryEvent)
 	// Stats.
 	transfers int
 	kbMoved   float64
+	faulted   int
 }
 
 // NewNetwork returns a network on kernel k with the given link timing.
@@ -224,6 +254,9 @@ func (n *Network) Port(name string) *Port {
 
 // Transfers returns the number of completed transactions.
 func (n *Network) Transfers() int { return n.transfers }
+
+// Faulted returns the number of transactions lost to injected faults.
+func (n *Network) Faulted() int { return n.faulted }
 
 // KBMoved returns the total payload carried, in KB.
 func (n *Network) KBMoved() float64 { return n.kbMoved }
@@ -284,6 +317,12 @@ func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error
 	if opts.OnStart != nil {
 		opts.OnStart()
 	}
+	// The fault verdict is drawn at the instant the line goes active;
+	// either way the wire time (and both sides' energy) is fully spent.
+	verdict := FaultNone
+	if f := pt.net.Fault; f != nil {
+		verdict = f.Transfer(p.Now(), pt.name, dst.name, msg)
+	}
 	dur := sim.Duration(pt.net.Params.TxTime(msg.KB))
 	startup := 0.0
 	if msg.KB > 0 {
@@ -297,6 +336,16 @@ func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error
 		// Sender died mid-transfer; the receiver never sees completion.
 		return err
 	}
+	if verdict != FaultNone {
+		pt.net.faulted++
+		pt.accountTxFault(verdict)
+		of.fault = verdict
+		of.done.Send(struct{}{})
+		if verdict == FaultGarble {
+			return ErrGarbled
+		}
+		return ErrDropped
+	}
 	pt.net.transfers++
 	pt.net.kbMoved += msg.KB
 	pt.accountTx(msg, startup)
@@ -309,6 +358,31 @@ func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error
 	}
 	of.done.Send(struct{}{})
 	return nil
+}
+
+// accountTxFault charges a dropped or garbled send to the sending port.
+func (pt *Port) accountTxFault(v FaultVerdict) {
+	m := pt.met()
+	if v == FaultGarble {
+		pt.stats.TxGarbled++
+		m.txGarbled.Inc()
+		return
+	}
+	pt.stats.TxDropped++
+	m.txDropped.Inc()
+}
+
+// accountRxFault charges a faulted delivery to the receiving port.
+func (pt *Port) accountRxFault(v FaultVerdict) {
+	m := pt.met()
+	if v == FaultGarble {
+		pt.stats.RxGarbled++
+		m.rxGarbled.Inc()
+	} else {
+		pt.stats.RxDropped++
+		m.rxDropped.Inc()
+	}
+	m.pendingDepth.Set(float64(pt.Pending()))
 }
 
 // accountTx credits a completed send to the sending port.
@@ -381,7 +455,30 @@ func (pt *Port) RecvOpts(p *sim.Proc, opts RxOpts) (Message, error) {
 					// accepted; pretend we never saw the offer.
 					continue
 				}
+				if errors.Is(err, sim.ErrTimeout) {
+					// The sender died (or crashed) mid-transfer: the
+					// wire went quiet and the message never completed.
+					// To the receiver that is an aborted delivery like
+					// any other — discard it and keep waiting under the
+					// caller's original deadline.
+					pt.accountRxFault(FaultDrop)
+					if opts.OnAbort != nil {
+						opts.OnAbort()
+					}
+					continue
+				}
 				return Message{}, err
+			}
+			if of.fault != FaultNone {
+				// The wire time was spent but the message never arrived
+				// (drop) or failed its integrity check (garble); discard
+				// it and keep waiting under the original deadline. The
+				// sender learns the same instant and may retransmit.
+				pt.accountRxFault(of.fault)
+				if opts.OnAbort != nil {
+					opts.OnAbort()
+				}
+				continue
 			}
 			return of.msg, nil
 		}

@@ -207,6 +207,43 @@ func TestDeadSenderMidTransferTimesOutReceiver(t *testing.T) {
 	}
 }
 
+// A sender dying mid-transfer must not error out an open-ended
+// receiver: the broken delivery is discarded like any aborted transfer
+// and the receiver keeps serving later senders (the host sink relies on
+// this to survive node crashes).
+func TestDeadSenderDoesNotKillOpenReceiver(t *testing.T) {
+	k := sim.NewKernel()
+	net := NewNetwork(k, DefaultLink())
+	a, b, c := net.Port("a"), net.Port("b"), net.Port("c")
+	sender := k.Spawn("doomed", func(p *sim.Proc) {
+		if err := a.Send(p, c, Message{KB: 10, Frame: 1}); err == nil {
+			t.Error("dead sender completed send")
+		}
+	})
+	k.At(0.5, func() { sender.Interrupt("crash") })
+	k.SpawnAt(3, "healthy", func(p *sim.Proc) {
+		if err := b.Send(p, c, Message{KB: 1, Frame: 2}); err != nil {
+			t.Errorf("healthy send: %v", err)
+		}
+	})
+	var got Message
+	var aborts int
+	k.Spawn("receiver", func(p *sim.Proc) {
+		m, err := c.RecvOpts(p, RxOpts{OnAbort: func() { aborts++ }})
+		if err != nil {
+			t.Errorf("recv: %v", err)
+		}
+		got = m
+	})
+	k.Run()
+	if got.Frame != 2 {
+		t.Fatalf("received %+v, want frame 2 from the healthy sender", got)
+	}
+	if aborts != 1 || c.Stats().RxDropped != 1 {
+		t.Fatalf("aborts=%d RxDropped=%d, want 1 each for the broken transfer", aborts, c.Stats().RxDropped)
+	}
+}
+
 func TestNetworkStats(t *testing.T) {
 	k := sim.NewKernel()
 	net := NewNetwork(k, DefaultLink())

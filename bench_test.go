@@ -19,6 +19,7 @@ import (
 	"dvsim/internal/battery"
 	"dvsim/internal/core"
 	"dvsim/internal/cpu"
+	"dvsim/internal/governor"
 	"dvsim/internal/report"
 	"dvsim/internal/sched"
 	"dvsim/internal/serial"
@@ -305,6 +306,64 @@ func BenchmarkYDS(b *testing.B) {
 		}
 	}
 	b.ReportMetric(sched.PeakSpeed(segs)*cpu.MaxPoint.FreqMHz, "peak_MHz")
+}
+
+// BenchmarkGovernorDecide measures each policy's per-frame decision — the
+// governor subsystem's hot path, entered once per node per frame. The
+// observation cycles through three workload regimes so adaptive policies
+// exercise their full decision logic, not a memoized steady state.
+func BenchmarkGovernorDecide(b *testing.B) {
+	obs := make([]governor.Observation, 3)
+	for i, refS := range []float64{0.69, 0.9, 0.5} {
+		op := cpu.Table[5+i]
+		proc := cpu.ScaledTime(refS, op)
+		obs[i] = governor.Observation{
+			Frame: i, DeadlineS: 2.3,
+			ProcS: proc, CommS: 0.94, SlackS: 2.3 - proc - 0.94,
+			RefS: refS, QueueIn: i % 2, SoC: 0.8,
+			Point: op, RoleCompute: op,
+		}
+	}
+	for _, name := range governor.Names {
+		b.Run(name, func(b *testing.B) {
+			g := governor.MustNew(governor.Spec{Name: name})
+			var op cpu.OperatingPoint
+			for i := 0; i < b.N; i++ {
+				op = g.Decide(obs[i%len(obs)])
+			}
+			b.ReportMetric(op.FreqMHz, "last_MHz")
+		})
+	}
+}
+
+// BenchmarkGovernedFrameLoop measures the whole-system cost of closing
+// the DVS loop: the experiment-2 pipeline run for a bounded frame count,
+// ungoverned vs governed by each policy. The delta over "none" is the
+// per-frame overhead of measurement, decision and accounting.
+func BenchmarkGovernedFrameLoop(b *testing.B) {
+	p := core.DefaultParams()
+	stages := []core.StageConfig{}
+	pt, err := p.BestTwoNodeScheme()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stages = core.StagesFromPartition(pt, true)
+	for _, name := range append([]string{""}, governor.Names...) {
+		label := name
+		if label == "" {
+			label = "none"
+		}
+		b.Run(label, func(b *testing.B) {
+			var o core.Outcome
+			for i := 0; i < b.N; i++ {
+				o = core.RunCustom("bench", p, stages, core.Options{
+					MaxFrames: 200,
+					Governor:  governor.Spec{Name: name},
+				})
+			}
+			b.ReportMetric(float64(o.Frames), "frames")
+		})
+	}
 }
 
 // BenchmarkSimKernel measures raw event throughput of the DES substrate.

@@ -8,6 +8,8 @@
 //	dvsim -metrics [-run 2B]   # instrumented run, metrics snapshot as CSV
 //	dvsim -ports               # per-port serial accounting as CSV
 //	dvsim -exp 2D -faults scenario.json   # fault injection (see scenarios/)
+//	dvsim -exp 2 -governor pid            # online DVS instead of the static table
+//	dvsim -exp 3A [-frames N]             # governor study: all four policies head to head
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"dvsim/internal/battery"
 	"dvsim/internal/core"
 	"dvsim/internal/fault"
+	"dvsim/internal/governor"
 	"dvsim/internal/report"
 )
 
@@ -37,6 +40,8 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "run instrumented and print each experiment's metrics snapshot as CSV")
 	portsFlag := flag.Bool("ports", false, "print per-port serial accounting as CSV")
 	faultsFile := flag.String("faults", "", "load a JSON fault scenario (link drop/garble, node crashes, battery variance) and inject it into the run")
+	governorFlag := flag.String("governor", "", "online DVS policy NAME[:key=value,...] applied to every pipeline node (static, interval, pid, buffer); e.g. pid:kp=0.5,ki=0.1")
+	framesFlag := flag.Int("frames", 0, "with -exp 3A: bound each governor run to N frames (0 = battery exhaustion)")
 	paramsFile := flag.String("params", "", "load a JSON platform config instead of the calibrated Itsy defaults")
 	dump := flag.Bool("dumpparams", false, "write the default platform config as JSON and exit")
 	flag.Parse()
@@ -77,6 +82,14 @@ func main() {
 			os.Exit(1)
 		}
 		p.Faults = sc
+	}
+	if *governorFlag != "" {
+		spec, err := governor.ParseSpec(*governorFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		p.Governor = spec
 	}
 	switch *batFlag {
 	case "twowell":
@@ -147,6 +160,16 @@ func main() {
 		if c.RotationPeriod > 1 {
 			fmt.Printf("  node rotation every %d frames\n", c.RotationPeriod)
 		}
+		return
+	}
+
+	if core.ID(*expFlag) == core.Exp3A {
+		outs := core.RunGovernorStudy(p, *workers, *framesFlag)
+		if *csvOut {
+			fmt.Print(report.GovernorCSV(outs))
+			return
+		}
+		fmt.Println(report.GovernorTable(outs))
 		return
 	}
 

@@ -8,6 +8,7 @@ import (
 	"dvsim/internal/atr"
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
+	"dvsim/internal/governor"
 	"dvsim/internal/serial"
 )
 
@@ -39,6 +40,10 @@ type PlatformConfig struct {
 	// scenario is active (see internal/fault); the zero value disables
 	// retransmission.
 	Retry serial.RetryPolicy `json:"retry"`
+	// Governor selects the online DVS policy applied to every pipeline
+	// node (see internal/governor); the zero value keeps the paper's
+	// static Table-driven assignment.
+	Governor governor.Spec `json:"governor"`
 }
 
 // PowerCurve is one mode's current model.
@@ -120,6 +125,11 @@ func (pc PlatformConfig) Params() (Params, error) {
 	if err := pc.Retry.Validate(); err != nil {
 		return Params{}, err
 	}
+	// Construct, not just Validate: tuning range errors (alpha outside
+	// (0, 1], negative imax, …) surface at load time, not mid-run.
+	if _, err := pc.Governor.New(); err != nil {
+		return Params{}, err
+	}
 	return Params{
 		Profile:        pc.Profile,
 		Link:           pc.Link,
@@ -130,6 +140,7 @@ func (pc PlatformConfig) Params() (Params, error) {
 		RotationPeriod: rotation,
 		AckTimeoutS:    pc.AckTimeoutS,
 		Retry:          pc.Retry,
+		Governor:       pc.Governor,
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
 	"dvsim/internal/fault"
+	"dvsim/internal/governor"
 	"dvsim/internal/host"
 	"dvsim/internal/metrics"
 	"dvsim/internal/node"
@@ -129,8 +130,13 @@ type NodeStat struct {
 	Crashes         int // injected crash outages
 	Restarts        int // recoveries from injected crashes
 	FramesAbandoned int // frames written off after a spent retransmit budget
-	DeliveredMAh    float64
-	FinalSoC        float64
+	// Governor accounting (all zero on ungoverned runs).
+	GovDecisions   int     // frame-boundary governor decisions taken
+	GovSwitches    int     // decisions that changed the operating point
+	DeadlineMisses int     // frames whose busy time exceeded the budget D
+	GovMeanMHz     float64 // mean decided compute clock
+	DeliveredMAh   float64
+	FinalSoC       float64
 	// Per-mode seconds.
 	IdleS, CommS, ComputeS float64
 	// Per-mode charge, mAh (§4.4's energy split).
@@ -141,7 +147,10 @@ type NodeStat struct {
 type Outcome struct {
 	ID    ID
 	Label string
-	Nodes int
+	// Governor names the online DVS policy the run was governed by
+	// (governor.Spec.String()); empty on ungoverned runs.
+	Governor string
+	Nodes    int
 	// Frames is F(N): results delivered to the host (or frames computed,
 	// for the no-I/O experiments).
 	Frames int
@@ -386,6 +395,11 @@ type pipelineOpts struct {
 	onTransfer func(serial.TransferEvent)
 	// faults, when non-nil, injects the scenario into the run.
 	faults *fault.Scenario
+	// governor, when enabled, attaches the online DVS policy to every
+	// node; Params.Governor fills it when the caller leaves it zero.
+	governor governor.Spec
+	// onGovern observes every governor decision.
+	onGovern func(node string, ev governor.Event)
 }
 
 // Native carries the real-workload hooks for native pipeline execution:
@@ -411,6 +425,9 @@ type Rig struct {
 	// Injector is the run's fault engine; nil when no scenario is
 	// active.
 	Injector *fault.Injector
+	// GovernorSpec is the online DVS policy the rig's nodes run under;
+	// the zero spec on ungoverned rigs.
+	GovernorSpec governor.Spec
 
 	lastResult sim.Time
 }
@@ -446,6 +463,12 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 	h.Metrics = reg
 	h.Retry = rp
 
+	// An explicit per-run governor wins; otherwise the platform-wide
+	// selection applies (same precedence as fault scenarios).
+	gov := opts.governor
+	if !gov.Enabled() {
+		gov = p.Governor
+	}
 	cfg := node.Config{
 		Prof:           p.Profile,
 		D:              p.FrameDelayS,
@@ -454,6 +477,8 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 		AckTimeoutS:    p.AckTimeoutS,
 		Retry:          rp,
 		Metrics:        reg,
+		Governor:       gov,
+		OnGovern:       opts.onGovern,
 	}
 	h.MaxFrames = opts.maxFrames
 	if opts.native != nil {
@@ -497,7 +522,7 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 		inj.Arm(k, targets)
 	}
 
-	rig := &Rig{K: k, Net: net, Host: h, Nodes: nodes, Metrics: reg, Injector: inj}
+	rig := &Rig{K: k, Net: net, Host: h, Nodes: nodes, Metrics: reg, Injector: inj, GovernorSpec: gov}
 	if reg != nil {
 		period := opts.samplePeriodS
 		if period <= 0 {
@@ -568,9 +593,14 @@ func (r *Rig) Finish() {
 // outcome extracts the paper's metrics after the run.
 func (r *Rig) outcome(id ID, p Params) Outcome {
 	frames := len(r.Host.Results)
+	var govName string
+	if r.GovernorSpec.Enabled() {
+		govName = r.GovernorSpec.String()
+	}
 	out := Outcome{
 		ID:            id,
 		Label:         Label(id),
+		Governor:      govName,
 		Nodes:         len(r.Nodes),
 		Frames:        frames,
 		BatteryLifeH:  float64(frames) * p.FrameDelayS / 3600,
@@ -624,6 +654,11 @@ type Options struct {
 	// Faults, when non-nil, injects the scenario into the run (see
 	// internal/fault); it takes precedence over Params.Faults.
 	Faults *fault.Scenario
+	// Governor attaches an online DVS policy to every node (see
+	// internal/governor); it takes precedence over Params.Governor.
+	Governor governor.Spec
+	// OnGovern, when set, observes every governor decision.
+	OnGovern func(node string, ev governor.Event)
 }
 
 // RunCustom simulates a custom pipeline to system exhaustion: one node
@@ -654,6 +689,8 @@ func RunCustom(label string, p Params, stages []StageConfig, opts Options) Outco
 		onResult:   opts.OnResult,
 		instrument: opts.Instrument,
 		faults:     faults,
+		governor:   opts.Governor,
+		onGovern:   opts.OnGovern,
 	})
 	out.Label = label
 	return out
@@ -697,6 +734,14 @@ func RunTraced(id ID, p Params, until float64) [][]node.ModeSpan {
 	return out
 }
 
+// govMean is the node's mean decided compute clock, zero when ungoverned.
+func govMean(n *node.Node) float64 {
+	if n.GovernorDecisions == 0 {
+		return 0
+	}
+	return n.GovernorFreqSumMHz / float64(n.GovernorDecisions)
+}
+
 func statOf(n *node.Node) NodeStat {
 	pw := n.Power()
 	return NodeStat{
@@ -709,6 +754,10 @@ func statOf(n *node.Node) NodeStat {
 		Crashes:         n.Crashes,
 		Restarts:        n.Restarts,
 		FramesAbandoned: n.FramesAbandoned,
+		GovDecisions:    n.GovernorDecisions,
+		GovSwitches:     n.GovernorSwitches,
+		DeadlineMisses:  n.DeadlineMisses,
+		GovMeanMHz:      govMean(n),
 		DeliveredMAh:    pw.Battery().DeliveredMAh(),
 		FinalSoC:        pw.Battery().StateOfCharge(),
 		IdleS:           pw.ModeSeconds(cpu.Idle),

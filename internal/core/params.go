@@ -11,6 +11,7 @@ import (
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
 	"dvsim/internal/fault"
+	"dvsim/internal/governor"
 	"dvsim/internal/serial"
 )
 
@@ -50,6 +51,12 @@ type Params struct {
 	// drop/garble, node crashes and battery capacity variance. It also
 	// overrides experiment 2D's built-in scenario.
 	Faults *fault.Scenario
+	// Governor, when enabled, attaches an online DVS policy to every
+	// pipeline node: the compute operating point is re-decided at each
+	// frame boundary instead of staying at the Table-driven assignment
+	// (see internal/governor). The zero spec — the default — leaves the
+	// paper's static behaviour byte-identical.
+	Governor governor.Spec
 }
 
 // DefaultParams returns the platform as calibrated against the paper.

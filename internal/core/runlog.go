@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"dvsim/internal/fault"
+	"dvsim/internal/governor"
 	"dvsim/internal/host"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
@@ -21,9 +22,10 @@ type LogRecord struct {
 	// T is the simulated time in seconds.
 	T float64 `json:"t"`
 	// Event is "mode", "result" or "death" for plain logs; telemetry
-	// logs add "sample", "link", "latency" and — when a fault scenario
-	// is active — "fault" (an injected drop/garble/crash/restart) and
-	// "retry" (a scheduled retransmission).
+	// logs add "sample", "link", "latency", — when a fault scenario is
+	// active — "fault" (an injected drop/garble/crash/restart) and
+	// "retry" (a scheduled retransmission), and — when a governor is
+	// active — "govern" (one online DVS decision).
 	Event string `json:"event"`
 	// Node is the acting node ("node1", …); empty for host events. For
 	// sample events it is the sampler's node label.
@@ -55,6 +57,13 @@ type LogRecord struct {
 	// Attempt is the failed transmission a retry event recovers from
 	// (1-based); its backoff duration rides in Value.
 	Attempt int `json:"attempt,omitempty"`
+	// FromMHz is a govern event's pre-decision compute clock; the
+	// decided clock rides in MHz and the frame's slack in Value.
+	FromMHz float64 `json:"from_mhz,omitempty"`
+	// Queue is a govern event's observed inbound backlog.
+	Queue int `json:"queue,omitempty"`
+	// Ctl carries a govern event's controller terms (governor.Terms).
+	Ctl []float64 `json:"ctl,omitempty"`
 }
 
 // eventRank orders event kinds at equal timestamps, so logs are
@@ -65,20 +74,22 @@ func eventRank(event string) int {
 		return 0
 	case "death":
 		return 1
-	case "fault":
+	case "govern":
 		return 2
-	case "retry":
+	case "fault":
 		return 3
-	case "link":
+	case "retry":
 		return 4
-	case "latency":
+	case "link":
 		return 5
-	case "result":
+	case "latency":
 		return 6
-	case "sample":
+	case "result":
 		return 7
-	default:
+	case "sample":
 		return 8
+	default:
+		return 9
 	}
 }
 
@@ -163,6 +174,16 @@ func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord,
 	}
 
 	var records []LogRecord
+	if p.Governor.Enabled() {
+		opts.onGovern = func(nodeName string, ev governor.Event) {
+			records = append(records, LogRecord{
+				T: ev.Obs.NowS, Event: "govern", Node: nodeName,
+				Frame: ev.Frame, FromMHz: ev.From.FreqMHz, MHz: ev.To.FreqMHz,
+				Value: ev.Obs.SlackS, Queue: ev.Obs.QueueIn,
+				Ctl: []float64{ev.Terms[0], ev.Terms[1], ev.Terms[2]},
+			})
+		}
+	}
 	if telemetry {
 		opts.onTransfer = func(ev serial.TransferEvent) {
 			records = append(records, LogRecord{

@@ -84,6 +84,59 @@ func TestNextAbove(t *testing.T) {
 	}
 }
 
+// TestNextAboveBoundaries pins the table edges the governors lean on:
+// requests below the slowest point clamp up to 59 MHz, a request for
+// exactly the top point succeeds, and anything past it reports
+// infeasible rather than rounding down.
+func TestNextAboveBoundaries(t *testing.T) {
+	for _, f := range []float64{-100, -1e-9, 0, 12.5, 58.999} {
+		op, ok := NextAbove(f)
+		if !ok || op != MinPoint {
+			t.Errorf("NextAbove(%v) = %v, %v; want the 59 MHz floor", f, op, ok)
+		}
+	}
+	if op, ok := NextAbove(MaxPoint.FreqMHz); !ok || op != MaxPoint {
+		t.Errorf("NextAbove(206.4) = %v, %v; want the exact top point", op, ok)
+	}
+	if _, ok := NextAbove(MaxPoint.FreqMHz + 1e-9); ok {
+		t.Error("NextAbove just past 206.4 reported feasible")
+	}
+}
+
+// TestMinFreqForBoundaries pins the degenerate inputs an online governor
+// can produce from measured (not planned) quantities: zero or negative
+// workload, zero or negative budget, and a workload that needs exactly
+// the top point.
+func TestMinFreqForBoundaries(t *testing.T) {
+	for _, refS := range []float64{0, -0.5} {
+		op, req, ok := MinFreqFor(refS, 1)
+		if !ok || op != MinPoint || req != 0 {
+			t.Errorf("MinFreqFor(%v, 1) = %v, %v, %v; want the 59 MHz floor", refS, op, req, ok)
+		}
+	}
+	for _, budget := range []float64{0, -0.1} {
+		if _, _, ok := MinFreqFor(1, budget); ok {
+			t.Errorf("MinFreqFor(1, %v) reported feasible", budget)
+		}
+	}
+	// A workload that consumes the whole budget at full clock needs
+	// exactly 206.4 MHz — still feasible, with no headroom.
+	op, req, ok := MinFreqFor(1.5, 1.5)
+	if !ok || op != MaxPoint || req != MaxPoint.FreqMHz {
+		t.Errorf("MinFreqFor(1.5, 1.5) = %v, %.4f, %v; want exactly the top point", op, req, ok)
+	}
+	// One part in a million past the top point must tip to infeasible.
+	if _, _, ok := MinFreqFor(1.5*(1+1e-6), 1.5); ok {
+		t.Error("workload just past full clock reported feasible")
+	}
+	// Required exactly 59 MHz picks the floor, not the next level up.
+	budget := 1.0
+	refS := MinPoint.FreqMHz / MaxPoint.FreqMHz * budget
+	if op, _, ok := MinFreqFor(refS, budget); !ok || op != MinPoint {
+		t.Errorf("required exactly 59 MHz picked %v, %v", op, ok)
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if Idle.String() != "idle" || Comm.String() != "communication" || Compute.String() != "computation" {
 		t.Error("mode names wrong")

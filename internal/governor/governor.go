@@ -1,0 +1,113 @@
+// Package governor implements pluggable online DVS policies: per-node
+// controllers that pick the next frame's compute operating point from
+// runtime observations, closing the loop the paper's Table-driven
+// frequency assignment leaves open.
+//
+// The paper fixes every node's clock before the run (Fig 8), yet its own
+// results show that runtime conditions — I/O stalls, partner-node death,
+// rotation — change what frequency a node *should* be running. The
+// control-theoretic DVS of Xia & Tian and the performance-aware power
+// management of Xia et al. (PAPERS.md) both close this loop between
+// observed timing slack and the voltage/frequency setting; this package
+// brings those policies to the simulated Itsy pipeline.
+//
+// A governor is consulted once per completed frame with an Observation
+// assembled entirely from sim-clock quantities (measured busy time,
+// queue depths, battery state). Decisions therefore depend only on the
+// simulation state: the same configuration and seed produce byte-identical
+// decision streams, which the telemetry determinism tests pin.
+//
+// Four policies ship behind the one interface:
+//
+//   - static: always returns the role's table-assigned point. With no
+//     governor configured the node runtime does not even consult a
+//     policy; selecting "static" explicitly exercises the full decision
+//     loop (telemetry included) while reproducing static behaviour
+//     bit-for-bit.
+//   - interval: PAST-style interval scheduling — an EWMA of the measured
+//     per-frame workload picks the lowest table point whose projected
+//     frame time fits the deadline D.
+//   - pid: control-theoretic tracking of the frame deadline (Xia & Tian):
+//     a PID controller on the measured slack error trims the speed above
+//     a feasibility floor, with conditional-integration anti-windup.
+//   - buffer: buffer-aware scaling — serial-queue pressure steps the
+//     clock up, a saturated downstream partner or sustained idle slack
+//     steps it down.
+package governor
+
+import (
+	"dvsim/internal/cpu"
+)
+
+// Observation is everything a governor may look at when deciding the
+// next frame's operating point. Every field is derived from the
+// simulation clock and simulated state — never from the host machine —
+// so decisions are deterministic.
+type Observation struct {
+	// Frame is the frame number just completed.
+	Frame int
+	// NowS is the sim-clock time of the decision, in seconds.
+	NowS float64
+	// DeadlineS is the frame budget D (§4.5: RECV+PROC+SEND ≤ D).
+	DeadlineS float64
+	// ProcS is the computation time the frame consumed, in seconds.
+	ProcS float64
+	// CommS is the wire-active communication time the frame consumed
+	// (receives, sends, acks and retransmissions), in seconds.
+	CommS float64
+	// SlackS is DeadlineS − ProcS − CommS: the unused share of the frame
+	// budget. Negative when the frame ran over.
+	SlackS float64
+	// RefS is the frame's computation normalized to the 206.4 MHz
+	// reference clock: ProcS · f/f_max. With the linear performance
+	// model this is the workload the profile would call "reference
+	// seconds", inferred online.
+	RefS float64
+	// QueueIn is the number of senders waiting at this node's serial
+	// port — inbound backlog that builds when the node runs too slowly.
+	QueueIn int
+	// DownWaitS is how long the frame's outbound transfer sat blocked
+	// before the downstream port accepted it. In the rendezvous serial
+	// model this is the observable form of downstream queue occupancy:
+	// a slow partner cannot accept, so the sender's offer waits.
+	DownWaitS float64
+	// SoC is the node's battery state of charge in [0, 1].
+	SoC float64
+	// Point is the compute operating point the frame ran at.
+	Point cpu.OperatingPoint
+	// RoleCompute is the role's statically assigned compute point (the
+	// Table-driven setting the paper would use).
+	RoleCompute cpu.OperatingPoint
+}
+
+// Governor selects compute operating points online, one decision per
+// completed frame. Implementations are stateful and owned by a single
+// node; they must derive state only from the observations they are fed.
+type Governor interface {
+	// Name identifies the policy ("static", "interval", "pid", "buffer").
+	Name() string
+	// Decide returns the compute operating point for the next frame.
+	Decide(obs Observation) cpu.OperatingPoint
+	// Terms reports the controller internals behind the most recent
+	// decision, for telemetry: what the terms mean is policy-specific
+	// (see each governor), but their order and count are fixed so
+	// telemetry stays schema-stable.
+	Terms() [3]float64
+	// Reset clears adaptive state. The node runtime calls it when the
+	// role changes under the controller — rotation, migration, crash
+	// restart — because measurements from the old span do not transfer.
+	Reset()
+}
+
+// Event is one governor decision, as surfaced to telemetry.
+type Event struct {
+	// Frame is the frame whose completion triggered the decision.
+	Frame int
+	// From and To are the compute points before and after; equal when
+	// the governor held the setting.
+	From, To cpu.OperatingPoint
+	// Obs is the observation the decision was made from.
+	Obs Observation
+	// Terms are the controller internals (Governor.Terms).
+	Terms [3]float64
+}

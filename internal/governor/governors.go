@@ -1,0 +1,248 @@
+package governor
+
+import (
+	"dvsim/internal/cpu"
+)
+
+// Static reproduces the paper's Table-driven assignment: every decision
+// returns the role's configured compute point. It exists so governed and
+// ungoverned runs share one code path — the decision loop, telemetry and
+// deadline accounting all run, but the operating point never moves.
+type Static struct{}
+
+// NewStatic returns the static policy.
+func NewStatic() *Static { return &Static{} }
+
+// Name implements Governor.
+func (*Static) Name() string { return "static" }
+
+// Decide implements Governor: the role's static point, always.
+func (*Static) Decide(obs Observation) cpu.OperatingPoint { return obs.RoleCompute }
+
+// Terms implements Governor; the static policy has no controller state.
+func (*Static) Terms() [3]float64 { return [3]float64{} }
+
+// Reset implements Governor.
+func (*Static) Reset() {}
+
+// Interval is PAST-style interval scheduling: an exponentially weighted
+// moving average of the measured per-frame workload (in reference
+// seconds) and communication time projects the next frame, and the
+// governor picks the lowest table point whose projection fits the
+// deadline. Terms are [ewma reference seconds, ewma comm seconds,
+// unquantized required MHz].
+type Interval struct {
+	// Alpha is the EWMA weight of the newest sample, in (0, 1].
+	Alpha float64
+	// MarginS is slack reserved from the budget, guarding the projection
+	// against measurement jitter.
+	MarginS float64
+
+	ewmaRef  float64
+	ewmaComm float64
+	primed   bool
+	terms    [3]float64
+}
+
+// NewInterval returns the interval policy with default tuning.
+func NewInterval() *Interval { return &Interval{Alpha: 0.3, MarginS: 0.02} }
+
+// Name implements Governor.
+func (*Interval) Name() string { return "interval" }
+
+// observe folds the frame's measurements into the EWMAs.
+func (g *Interval) observe(obs Observation) {
+	if !g.primed {
+		g.ewmaRef, g.ewmaComm = obs.RefS, obs.CommS
+		g.primed = true
+		return
+	}
+	g.ewmaRef = g.Alpha*obs.RefS + (1-g.Alpha)*g.ewmaRef
+	g.ewmaComm = g.Alpha*obs.CommS + (1-g.Alpha)*g.ewmaComm
+}
+
+// Decide implements Governor.
+func (g *Interval) Decide(obs Observation) cpu.OperatingPoint {
+	g.observe(obs)
+	budget := obs.DeadlineS - g.ewmaComm - g.MarginS
+	op, requiredMHz, ok := cpu.MinFreqFor(g.ewmaRef, budget)
+	if !ok {
+		// The projected workload does not fit even at full clock (the
+		// "would need ~380 MHz" regime): run flat out and let frames lag.
+		op = cpu.MaxPoint
+	}
+	g.terms = [3]float64{g.ewmaRef, g.ewmaComm, requiredMHz}
+	return op
+}
+
+// Terms implements Governor.
+func (g *Interval) Terms() [3]float64 { return g.terms }
+
+// Reset implements Governor.
+func (g *Interval) Reset() {
+	g.ewmaRef, g.ewmaComm, g.primed = 0, 0, false
+	g.terms = [3]float64{}
+}
+
+// PID tracks the frame deadline with a discrete PID controller, per Xia
+// & Tian's control-theoretic DVS: the error is the normalized distance
+// between a small target slack and the measured slack, and the control
+// output trims the commanded speed above a feasibility floor (the
+// interval projection). The floor guarantees the deadline whenever the
+// workload model holds; the feedback terms take over when it does not —
+// native execution, faults, retransmission storms — pushing the clock up
+// until the measured slack recovers. Anti-windup is by conditional
+// integration: the integral state freezes while the actuator is
+// saturated in the error's direction, and is clamped to ±IMax
+// regardless. Terms are [error, integral, control output], all in
+// normalized speed units.
+type PID struct {
+	// Kp, Ki, Kd are the gains on the normalized slack error.
+	Kp, Ki, Kd float64
+	// TargetSlackS is the slack setpoint: the controller steers the
+	// measured per-frame slack toward this value.
+	TargetSlackS float64
+	// IMax clamps the magnitude of the integral state.
+	IMax float64
+	// Alpha and MarginS tune the feasibility floor's workload EWMA,
+	// exactly as in Interval.
+	Alpha   float64
+	MarginS float64
+
+	floor   Interval // feasibility floor: the interval projection
+	integ   float64
+	prevErr float64
+	terms   [3]float64
+}
+
+// NewPID returns the PID policy with default tuning.
+func NewPID() *PID {
+	return &PID{
+		Kp: 0.8, Ki: 0.2, Kd: 0.1,
+		TargetSlackS: 0.05, IMax: 0.5,
+		Alpha: 0.3, MarginS: 0.02,
+	}
+}
+
+// Name implements Governor.
+func (*PID) Name() string { return "pid" }
+
+// Decide implements Governor.
+func (g *PID) Decide(obs Observation) cpu.OperatingPoint {
+	g.floor.Alpha, g.floor.MarginS = g.Alpha, g.MarginS
+	g.floor.observe(obs)
+	budget := obs.DeadlineS - g.floor.ewmaComm - g.floor.MarginS
+	_, requiredMHz, ok := cpu.MinFreqFor(g.floor.ewmaRef, budget)
+	sFloor := requiredMHz / cpu.MaxPoint.FreqMHz
+	if !ok || sFloor > 1 {
+		sFloor = 1
+	}
+	if sFloor < cpu.MinPoint.FreqMHz/cpu.MaxPoint.FreqMHz {
+		sFloor = cpu.MinPoint.FreqMHz / cpu.MaxPoint.FreqMHz
+	}
+
+	e := (g.TargetSlackS - obs.SlackS) / obs.DeadlineS
+	u := g.Kp*e + g.Ki*g.integ + g.Kd*(e-g.prevErr)
+	s := sFloor + u
+	sat := 0
+	if s >= 1 {
+		s, sat = 1, +1
+	}
+	if s <= sFloor {
+		s, sat = sFloor, -1
+	}
+	// Conditional integration: do not accumulate error that only pushes
+	// the saturated actuator further out of range.
+	if !(sat > 0 && e > 0) && !(sat < 0 && e < 0) {
+		g.integ += e
+		if g.integ > g.IMax {
+			g.integ = g.IMax
+		}
+		if g.integ < -g.IMax {
+			g.integ = -g.IMax
+		}
+	}
+	g.prevErr = e
+	g.terms = [3]float64{e, g.integ, u}
+
+	op, ok2 := cpu.NextAbove(s * cpu.MaxPoint.FreqMHz)
+	if !ok2 {
+		op = cpu.MaxPoint
+	}
+	return op
+}
+
+// Terms implements Governor.
+func (g *PID) Terms() [3]float64 { return g.terms }
+
+// Reset implements Governor.
+func (g *PID) Reset() {
+	g.floor.Reset()
+	g.integ, g.prevErr = 0, 0
+	g.terms = [3]float64{}
+}
+
+// Buffer scales the clock with serial-queue pressure, in the spirit of
+// the buffer-based DVS of Im et al.: inbound backlog means the node is
+// the bottleneck and steps the clock up one table level; a downstream
+// partner that keeps the node's outbound offer waiting is saturated, so
+// racing ahead of it wastes energy and the clock steps down; an empty
+// queue with sustained slack steps down too, but only when the
+// projection says the lower level still fits the deadline. Terms are
+// [inbound queue depth, downstream wait seconds, decided table index].
+type Buffer struct {
+	// Hi is the inbound queue depth that forces a step up.
+	Hi int
+	// WaitHiS is the downstream blocked time that forces a step down.
+	WaitHiS float64
+	// LoSlackS is the idle slack above which an empty queue may step
+	// down (projection permitting).
+	LoSlackS float64
+	// MarginS guards the step-down projection.
+	MarginS float64
+
+	terms [3]float64
+}
+
+// NewBuffer returns the buffer-aware policy with default tuning.
+func NewBuffer() *Buffer {
+	return &Buffer{Hi: 2, WaitHiS: 0.2, LoSlackS: 0.3, MarginS: 0.02}
+}
+
+// Name implements Governor.
+func (*Buffer) Name() string { return "buffer" }
+
+// Decide implements Governor.
+func (g *Buffer) Decide(obs Observation) cpu.OperatingPoint {
+	idx := cpu.Index(obs.Point)
+	if idx < 0 {
+		idx = cpu.Index(obs.RoleCompute)
+		if idx < 0 {
+			idx = len(cpu.Table) - 1
+		}
+	}
+	switch {
+	case obs.DownWaitS >= g.WaitHiS && idx > 0:
+		// Downstream cannot drain: a slow partner pulls the sender's
+		// frequency down with it.
+		idx--
+	case obs.QueueIn >= g.Hi && idx < len(cpu.Table)-1:
+		idx++
+	case obs.QueueIn == 0 && obs.SlackS >= g.LoSlackS && idx > 0:
+		// Quiet and ahead of the deadline: drop a level if the
+		// projected frame time still fits.
+		down := cpu.Table[idx-1]
+		projProc := obs.ProcS * obs.Point.FreqMHz / down.FreqMHz
+		if projProc+obs.CommS <= obs.DeadlineS-g.MarginS {
+			idx--
+		}
+	}
+	g.terms = [3]float64{float64(obs.QueueIn), obs.DownWaitS, float64(idx)}
+	return cpu.Table[idx]
+}
+
+// Terms implements Governor.
+func (g *Buffer) Terms() [3]float64 { return g.terms }
+
+// Reset implements Governor.
+func (g *Buffer) Reset() { g.terms = [3]float64{} }

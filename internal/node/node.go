@@ -6,6 +6,7 @@ import (
 
 	"dvsim/internal/atr"
 	"dvsim/internal/cpu"
+	"dvsim/internal/governor"
 	"dvsim/internal/metrics"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
@@ -73,6 +74,17 @@ type Config struct {
 	// phase latency histograms, DVS switch and rotation/migration
 	// counters. Nil disables recording at near-zero cost.
 	Metrics *metrics.Registry
+	// Governor selects the online DVS policy that re-decides each node's
+	// compute operating point at every frame boundary (see
+	// internal/governor). The zero spec disables the decision loop
+	// entirely, reproducing the paper's static Table-driven assignment
+	// byte for byte. Governors only apply to the pipeline frame loop;
+	// the NoIO mode has no frame deadline to govern against.
+	Governor governor.Spec
+	// OnGovern, when set, observes every governor decision (the
+	// telemetry run log's "govern" events). Only called when Governor is
+	// enabled.
+	OnGovern func(node string, ev governor.Event)
 }
 
 // phaseBuckets are the histogram bounds for per-frame phase latencies,
@@ -85,6 +97,7 @@ type instruments struct {
 	recvS, procS, sendS                    *metrics.Histogram
 	frames, results, rotations, migrations *metrics.Counter
 	crashes, restarts, abandoned           *metrics.Counter
+	govDecisions, govSwitches, misses      *metrics.Counter
 }
 
 // Node is one Itsy computer in the pipeline.
@@ -113,6 +126,17 @@ type Node struct {
 	proc *sim.Proc
 	met  instruments
 
+	// Online DVS governor state: gov is the policy instance (nil when
+	// ungoverned), govPoint the governed compute point overriding the
+	// role's static assignment (zero = none). sendWaitS records how long
+	// the current frame's outbound transfer waited for the downstream
+	// port — the rendezvous model's observable form of downstream queue
+	// occupancy.
+	gov         governor.Governor
+	govPoint    cpu.OperatingPoint
+	sendWaitS   float64
+	sendWaitSet bool
+
 	crashed bool // injected-crash outage in progress
 
 	// Stats.
@@ -120,11 +144,16 @@ type Node struct {
 	ResultsSent     int // final results delivered to the host
 	Rotations       int
 	Migrations      int
-	Crashes         int      // injected crashes applied
-	Restarts        int      // recoveries from injected crashes
-	FramesAbandoned int      // frames given up after a spent retransmit budget
-	DeadAt          sim.Time // battery exhaustion time; 0 if alive
-	peerDead        []bool   // detected failures, by physical index
+	Crashes         int // injected crashes applied
+	Restarts        int // recoveries from injected crashes
+	FramesAbandoned int // frames given up after a spent retransmit budget
+	// Governor stats (all zero when ungoverned).
+	GovernorDecisions  int      // frame-boundary decisions taken
+	GovernorSwitches   int      // decisions that changed the operating point
+	DeadlineMisses     int      // frames whose busy time exceeded the budget D
+	GovernorFreqSumMHz float64  // sum of decided clocks, for mean-frequency reporting
+	DeadAt             sim.Time // battery exhaustion time; 0 if alive
+	peerDead           []bool   // detected failures, by physical index
 }
 
 type carriedFrame struct {
@@ -158,7 +187,16 @@ func New(k *sim.Kernel, net *serial.Network, pw *Power, cfg Config, roles []Role
 		restarts:   cfg.Metrics.Counter("node_restarts", name),
 		abandoned:  cfg.Metrics.Counter("node_frames_abandoned", name),
 	}
+	if cfg.Governor.Enabled() {
+		met.govDecisions = cfg.Metrics.Counter("node_governor_decisions", name)
+		met.govSwitches = cfg.Metrics.Counter("node_governor_switches", name)
+		met.misses = cfg.Metrics.Counter("node_deadline_misses", name)
+	}
+	// A bad spec reaching here is a programming error: core validates
+	// governor configuration at load/flag-parse time.
+	gov := governor.MustNew(cfg.Governor)
 	return &Node{
+		gov:   gov,
 		met:   met,
 		Name:  name,
 		k:     k,
@@ -231,6 +269,7 @@ func (n *Node) Restart() bool {
 	n.met.restarts.Inc()
 	n.power.Resume()
 	n.carry = nil
+	n.governReset()
 	n.proc = n.k.Spawn(n.Name, n.run)
 	return true
 }
@@ -263,12 +302,22 @@ func (n *Node) run(p *sim.Proc) {
 		return
 	}
 	for {
+		// Frame-budget measurement anchors for the governor: busy time
+		// is metered as mode-clock deltas across the whole iteration
+		// (RECV+PROC+SEND, acks and retransmissions included), which the
+		// power meter keeps settled at every transition.
+		var proc0, comm0 float64
+		if n.gov != nil {
+			proc0 = n.power.ModeSeconds(cpu.Compute)
+			comm0 = n.power.ModeSeconds(cpu.Comm)
+			n.sendWaitS, n.sendWaitSet = 0, false
+		}
 		frame, payload, ok := n.obtainInput(p)
 		if !ok {
 			return
 		}
 		var out any
-		if !n.process(p, n.Role().Span, n.Role().Compute, payload, &out) {
+		if !n.process(p, n.Role().Span, n.computePoint(), payload, &out) {
 			return
 		}
 		n.FramesProcessed++
@@ -291,6 +340,7 @@ func (n *Node) run(p *sim.Proc) {
 			n.roleIdx = (n.roleIdx + 1) % len(n.roles)
 			n.Rotations++
 			n.met.rotations.Inc()
+			n.governReset()
 			n.idle()
 			continue
 		}
@@ -310,8 +360,100 @@ func (n *Node) run(p *sim.Proc) {
 			n.roleIdx = (n.roleIdx + 1) % len(n.roles)
 			n.Rotations++
 			n.met.rotations.Inc()
+			n.governReset()
+		} else {
+			n.govern(p, frame, proc0, comm0)
 		}
 		n.idle()
+	}
+}
+
+// computePoint is the operating point PROC runs at: the governed point
+// when a governor has decided one, the role's static assignment
+// otherwise.
+func (n *Node) computePoint() cpu.OperatingPoint {
+	if n.govPoint != (cpu.OperatingPoint{}) {
+		return n.govPoint
+	}
+	return n.Role().Compute
+}
+
+// deadlineMissEps absorbs float drift when comparing busy time against
+// the frame budget.
+const deadlineMissEps = 1e-9
+
+// govern runs the frame-boundary control loop: assemble the observation
+// from sim-clock measurements, ask the policy for the next compute
+// point, and account the decision. proc0/comm0 are the mode clocks at
+// the iteration's start.
+func (n *Node) govern(p *sim.Proc, frame int, proc0, comm0 float64) {
+	if n.gov == nil {
+		return
+	}
+	procS := n.power.ModeSeconds(cpu.Compute) - proc0
+	commS := n.power.ModeSeconds(cpu.Comm) - comm0
+	cur := n.computePoint()
+	obs := governor.Observation{
+		Frame:       frame,
+		NowS:        float64(p.Now()),
+		DeadlineS:   n.cfg.D,
+		ProcS:       procS,
+		CommS:       commS,
+		SlackS:      n.cfg.D - procS - commS,
+		RefS:        procS * cur.FreqMHz / cpu.MaxPoint.FreqMHz,
+		QueueIn:     n.port.Pending(),
+		DownWaitS:   n.sendWaitS,
+		SoC:         n.power.Battery().StateOfCharge(),
+		Point:       cur,
+		RoleCompute: n.Role().Compute,
+	}
+	if obs.SlackS < -deadlineMissEps {
+		n.DeadlineMisses++
+		n.met.misses.Inc()
+	}
+	next := n.gov.Decide(obs)
+	n.GovernorDecisions++
+	n.GovernorFreqSumMHz += next.FreqMHz
+	n.met.govDecisions.Inc()
+	if next != cur {
+		n.GovernorSwitches++
+		n.met.govSwitches.Inc()
+	}
+	n.govPoint = next
+	if n.cfg.OnGovern != nil {
+		n.cfg.OnGovern(n.Name, governor.Event{
+			Frame: frame, From: cur, To: next, Obs: obs, Terms: n.gov.Terms(),
+		})
+	}
+}
+
+// governReset clears the governor after a role change — rotation,
+// migration, crash restart — because measurements from the old span do
+// not transfer to the new one. The next frame runs at the new role's
+// static point until the controller re-primes.
+func (n *Node) governReset() {
+	if n.gov == nil {
+		return
+	}
+	n.gov.Reset()
+	n.govPoint = cpu.OperatingPoint{}
+}
+
+// sendStart returns the TxOpts.OnStart callback for an outbound data
+// transfer: under a governor it additionally records, once per frame,
+// how long the offer waited before the downstream port accepted it
+// (the buffer-aware policy's congestion signal).
+func (n *Node) sendStart(p *sim.Proc) func() {
+	if n.gov == nil {
+		return n.commStart
+	}
+	queued := p.Now()
+	return func() {
+		if !n.sendWaitSet {
+			n.sendWaitSet = true
+			n.sendWaitS = float64(p.Now() - queued)
+		}
+		n.commStart()
 	}
 }
 
@@ -434,7 +576,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 	if role.Index == len(n.roles) {
 		err := n.port.SendReliable(p, n.hostSink, serial.Message{
 			Kind: serial.KindResult, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload,
-		}, serial.TxOpts{OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
+		}, serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idle}, n.cfg.Retry)
 		n.idle()
 		if err != nil && (serial.IsFault(err) || errors.Is(err, serial.ErrRetriesExhausted)) {
 			return true, n.abandon()
@@ -445,7 +587,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 	msg := serial.Message{Kind: serial.KindInter, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload}
 	if !n.cfg.Ack {
 		err := n.port.SendReliable(p, dst.Port(), msg,
-			serial.TxOpts{OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
+			serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idle}, n.cfg.Retry)
 		n.idle()
 		if err != nil && (serial.IsFault(err) || errors.Is(err, serial.ErrRetriesExhausted)) {
 			return true, n.abandon()
@@ -455,7 +597,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 	// Recovery protocol: deliver, then await the ack.
 	deadline := p.Now() + sim.Time(n.cfg.D+n.cfg.AckTimeoutS)
 	err := n.port.SendReliable(p, dst.Port(), msg,
-		serial.TxOpts{Deadline: deadline, OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
+		serial.TxOpts{Deadline: deadline, OnStart: n.sendStart(p), OnBackoff: n.idle}, n.cfg.Retry)
 	n.idle()
 	if err == nil {
 		ackDeadline := p.Now() + sim.Time(n.cfg.AckTimeoutS)
@@ -549,6 +691,7 @@ func (n *Node) migrateFrom(p *sim.Proc, deadPhys int) (absorbed atr.Span, ok boo
 	n.roleIdx = 0
 	n.Migrations++
 	n.met.migrations.Inc()
+	n.governReset()
 	return deadRole.Span, true
 }
 

@@ -79,6 +79,15 @@ func TestGoldenFaultCSV(t *testing.T) {
 	checkGolden(t, "fault_csv", CSV([]core.Outcome{out}))
 }
 
+// TestGoldenGovernorCSV pins the experiment-3A export byte for byte: a
+// bounded run of all four policies, decisions and switches included.
+// Every observation feeding the governors comes off the simulation
+// clock, so the whole table is deterministic.
+func TestGoldenGovernorCSV(t *testing.T) {
+	outs := core.RunGovernorStudy(core.DefaultParams(), 0, 300)
+	checkGolden(t, "governor_csv", GovernorCSV(outs))
+}
+
 func TestGoldenCompare(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite")

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"dvsim/internal/core"
+)
+
+// GovernorCSV renders a governor study's outcomes (core.RunGovernorStudy)
+// as CSV: one row per node, keyed by the policy that governed the run,
+// with the closed-loop accounting — decisions, switches, deadline
+// misses, mean decided clock — alongside the lifetime and energy
+// figures. It is a separate table from CSV so the suite exports stay
+// byte-identical for ungoverned runs.
+func GovernorCSV(outs []core.Outcome) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{
+		"exp", "governor", "nodes", "frames", "battery_life_h",
+		"energy_per_frame_mah", "deadline_misses", "node", "died_at_h",
+		"frames_processed", "results_sent", "gov_decisions",
+		"gov_switches", "node_deadline_misses", "gov_mean_mhz",
+		"delivered_mah", "final_soc", "idle_s", "comm_s", "compute_s",
+	})
+	for _, o := range outs {
+		for _, ns := range o.NodeStats {
+			_ = w.Write([]string{
+				string(o.ID), o.Governor,
+				fmt.Sprint(o.Nodes), fmt.Sprint(o.Frames),
+				fmt.Sprintf("%.4f", o.BatteryLifeH),
+				fmt.Sprintf("%.6f", o.EnergyPerFrameMAh()),
+				fmt.Sprint(o.TotalDeadlineMisses()),
+				ns.Name,
+				fmt.Sprintf("%.4f", ns.DiedAtH),
+				fmt.Sprint(ns.FramesProcessed),
+				fmt.Sprint(ns.ResultsSent),
+				fmt.Sprint(ns.GovDecisions),
+				fmt.Sprint(ns.GovSwitches),
+				fmt.Sprint(ns.DeadlineMisses),
+				fmt.Sprintf("%.1f", ns.GovMeanMHz),
+				fmt.Sprintf("%.2f", ns.DeliveredMAh),
+				fmt.Sprintf("%.4f", ns.FinalSoC),
+				fmt.Sprintf("%.1f", ns.IdleS),
+				fmt.Sprintf("%.1f", ns.CommS),
+				fmt.Sprintf("%.1f", ns.ComputeS),
+			})
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// GovernorTable renders the study as an aligned text table, one row per
+// run, for terminal output (dvsim -exp 3A).
+func GovernorTable(outs []core.Outcome) string {
+	t := NewTable("governor", "frames", "life_h", "mAh/frame",
+		"misses", "switches", "mean_mhz")
+	for _, o := range outs {
+		var dec, sw int
+		var mhz float64
+		for _, ns := range o.NodeStats {
+			dec += ns.GovDecisions
+			sw += ns.GovSwitches
+			mhz += ns.GovMeanMHz * float64(ns.GovDecisions)
+		}
+		if dec > 0 {
+			mhz /= float64(dec)
+		}
+		t.Add(o.Governor, o.Frames, f2(o.BatteryLifeH),
+			fmt.Sprintf("%.6f", o.EnergyPerFrameMAh()),
+			o.TotalDeadlineMisses(), sw, f1(mhz))
+	}
+	return t.String()
+}

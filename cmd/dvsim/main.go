@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"dvsim/internal/battery"
+	"dvsim/internal/bench"
 	"dvsim/internal/core"
 	"dvsim/internal/fault"
 	"dvsim/internal/governor"
@@ -44,7 +45,17 @@ func main() {
 	framesFlag := flag.Int("frames", 0, "with -exp 3A: bound each governor run to N frames (0 = battery exhaustion)")
 	paramsFile := flag.String("params", "", "load a JSON platform config instead of the calibrated Itsy defaults")
 	dump := flag.Bool("dumpparams", false, "write the default platform config as JSON and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to FILE")
 	flag.Parse()
+
+	stopProf, err := bench.StartProfiles(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *dump {
 		if err := core.SavePlatform(os.Stdout, core.DefaultPlatformConfig()); err != nil {

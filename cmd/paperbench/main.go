@@ -8,22 +8,50 @@
 //
 //	paperbench            # everything
 //	paperbench -fig 8     # one figure: 6, 7, 8, 10, timeline, compare
+//	paperbench -bench     # benchmark the suite, write BENCH_kernel.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"dvsim/internal/battery"
+	"dvsim/internal/bench"
 	"dvsim/internal/core"
+	"dvsim/internal/node"
 	"dvsim/internal/report"
+	"dvsim/internal/sweep"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 10, timeline, discharge, energy, compare, md, all")
+	benchFlag := flag.Bool("bench", false, "benchmark the experiment suite end to end and write a JSON report instead of figures")
+	benchOut := flag.String("bench-out", "BENCH_kernel.json", "with -bench: report output path")
+	baseline := flag.String("baseline", "", "with -bench: compare against this committed report and fail on regression")
+	timeTol := flag.Float64("tolerance", 4.0, "with -baseline: allowed ns/event ratio vs baseline (generous: the gate catches order-of-magnitude regressions, not cross-machine noise)")
+	allocTol := flag.Float64("alloc-tolerance", 1.25, "with -baseline: allowed allocs/op ratio vs baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to FILE")
 	flag.Parse()
 
+	stopProf, err := bench.StartProfiles(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
 	p := core.DefaultParams()
+	if *benchFlag {
+		if err := runBench(p, *benchOut, *baseline, *timeTol, *allocTol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			stopProf()
+			os.Exit(1)
+		}
+		return
+	}
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 
 	if want("6") {
@@ -41,19 +69,33 @@ func main() {
 			[]float64{40, 65, 105, 130}, 72, 14))
 	}
 	if want("timeline") {
-		fmt.Println("Fig 2 — single node (baseline), first three frames")
-		tr := core.RunTraced(core.Exp1, p, 3*p.FrameDelayS)
-		fmt.Println(report.Timeline([]string{"node1"}, tr, 0, 3*p.FrameDelayS, 69))
-
-		fmt.Println("Fig 3 — two pipelined nodes (partitioning), first four frames")
-		tr = core.RunTraced(core.Exp2, p, 4*p.FrameDelayS)
-		fmt.Println(report.Timeline([]string{"node1", "node2"}, tr, 0, 4*p.FrameDelayS, 80))
-
-		fmt.Println("Fig 9 — node rotation across the rotation boundary")
+		// The three timing diagrams are independent traced runs; sweep
+		// them across cores and print in figure order.
 		pr := p
 		pr.RotationPeriod = 4
-		tr = core.RunTraced(core.Exp2C, pr, 9*pr.FrameDelayS)
-		fmt.Println(report.Timeline([]string{"node1", "node2"}, tr, 0, 9*pr.FrameDelayS, 90))
+		type tl struct {
+			caption string
+			id      core.ID
+			p       core.Params
+			frames  float64
+			width   int
+			names   []string
+		}
+		figs := []tl{
+			{"Fig 2 — single node (baseline), first three frames",
+				core.Exp1, p, 3, 69, []string{"node1"}},
+			{"Fig 3 — two pipelined nodes (partitioning), first four frames",
+				core.Exp2, p, 4, 80, []string{"node1", "node2"}},
+			{"Fig 9 — node rotation across the rotation boundary",
+				core.Exp2C, pr, 9, 90, []string{"node1", "node2"}},
+		}
+		traces := sweep.Run(figs, 0, func(f tl) [][]node.ModeSpan {
+			return core.RunTraced(f.id, f.p, f.frames*f.p.FrameDelayS)
+		})
+		for i, f := range figs {
+			fmt.Println(f.caption)
+			fmt.Println(report.Timeline(f.names, traces[i], 0, f.frames*f.p.FrameDelayS, f.width))
+		}
 	}
 	if want("10") || want("compare") || want("energy") || want("md") {
 		outs := core.RunSuiteParallel(core.AllExperiments, p, 0)
@@ -78,4 +120,30 @@ func main() {
 			fmt.Print(report.MarkdownCompare(outs))
 		}
 	}
+}
+
+// runBench benchmarks every experiment end to end, writes the JSON
+// report, and — when a baseline is given — gates on it.
+func runBench(p core.Params, out, baseline string, timeTol, allocTol float64) error {
+	rep := bench.RunExperiments(core.AllExperiments, p)
+	fmt.Print(rep.Format())
+	if err := rep.Write(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baseline == "" {
+		return nil
+	}
+	base, err := bench.Load(baseline)
+	if err != nil {
+		return err
+	}
+	if msgs := bench.Compare(rep, base, timeTol, allocTol); len(msgs) > 0 {
+		for _, m := range msgs {
+			fmt.Fprintln(os.Stderr, "bench regression:", m)
+		}
+		return fmt.Errorf("paperbench: %d benchmark regression(s) vs %s", len(msgs), baseline)
+	}
+	fmt.Printf("within tolerance of %s (time ×%.2g, allocs ×%.2g)\n", baseline, timeTol, allocTol)
+	return nil
 }

@@ -1,0 +1,158 @@
+// Package bench measures the simulator's end-to-end throughput on the
+// paper's experiment suite and renders machine-readable reports. It is
+// the engine behind `paperbench -bench`, which emits BENCH_kernel.json,
+// and behind the CI regression gate that compares a fresh measurement
+// against the committed baseline within a generous tolerance.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"dvsim/internal/core"
+)
+
+// Result is the measured cost of one experiment run.
+type Result struct {
+	// Name identifies the benchmarked workload (the experiment ID).
+	Name string `json:"name"`
+	// Events is the number of kernel events one run fires; it is a
+	// property of the simulation, not the machine, so a change signals
+	// a behavioral difference rather than a performance one.
+	Events uint64 `json:"events"`
+	// WallS is the wall-clock time of one run, in seconds.
+	WallS float64 `json:"wall_s"`
+	// NsPerEvent and EventsPerSec express kernel throughput.
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// BytesPerOp and AllocsPerOp are the heap traffic of one run.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is a full benchmark run, annotated with enough machine context
+// to judge whether two reports are comparable.
+type Report struct {
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	// Benchtime notes how each measurement was taken (testing.Benchmark
+	// defaults); informational.
+	Benchtime string   `json:"benchtime,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// RunExperiments benchmarks each experiment end to end (build the rig,
+// run to exhaustion, extract the outcome) under testing.Benchmark and
+// returns the per-experiment measurements in input order.
+func RunExperiments(ids []core.ID, p core.Params) Report {
+	rep := Report{
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Benchtime: "1s",
+	}
+	for _, id := range ids {
+		rep.Results = append(rep.Results, runOne(id, p))
+	}
+	return rep
+}
+
+func runOne(id core.ID, p core.Params) Result {
+	var events uint64
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := core.Run(id, p)
+			events = out.Events
+		}
+	})
+	wall := br.T.Seconds() / float64(br.N)
+	res := Result{
+		Name:        string(id),
+		Events:      events,
+		WallS:       wall,
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+	if events > 0 {
+		res.NsPerEvent = wall * 1e9 / float64(events)
+		res.EventsPerSec = float64(events) / wall
+	}
+	return res
+}
+
+// Write serializes the report as indented JSON.
+func (r Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a report written by Write.
+func Load(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Compare checks fresh against base and returns one message per
+// regression. Timing is gated at timeTol (fresh ≤ base·timeTol) and
+// heap allocations at allocTol; both tolerances should be generous —
+// the gate exists to catch order-of-magnitude regressions (an
+// accidentally quadratic queue, a per-event allocation reintroduced on
+// the hot path), not 5% noise between machines. A changed event count
+// is reported too: events fired is machine-independent, so any drift
+// means the simulation itself changed.
+func Compare(fresh, base Report, timeTol, allocTol float64) []string {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	var msgs []string
+	for _, f := range fresh.Results {
+		b, ok := baseBy[f.Name]
+		if !ok {
+			continue
+		}
+		if b.Events != 0 && f.Events != b.Events {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: events fired changed %d -> %d (simulation behavior drift)",
+				f.Name, b.Events, f.Events))
+		}
+		if b.NsPerEvent > 0 && f.NsPerEvent > b.NsPerEvent*timeTol {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: ns/event %.1f exceeds baseline %.1f × tolerance %.2g",
+				f.Name, f.NsPerEvent, b.NsPerEvent, timeTol))
+		}
+		if b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*allocTol {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: allocs/op %d exceeds baseline %d × tolerance %.2g",
+				f.Name, f.AllocsPerOp, b.AllocsPerOp, allocTol))
+		}
+	}
+	return msgs
+}
+
+// Format renders the report as an aligned human-readable table.
+func (r Report) Format() string {
+	out := fmt.Sprintf("%-6s %12s %10s %12s %14s %14s %12s\n",
+		"exp", "events", "wall(s)", "ns/event", "events/sec", "B/op", "allocs/op")
+	for _, res := range r.Results {
+		out += fmt.Sprintf("%-6s %12d %10.3f %12.1f %14.0f %14d %12d\n",
+			res.Name, res.Events, res.WallS, res.NsPerEvent,
+			res.EventsPerSec, res.BytesPerOp, res.AllocsPerOp)
+	}
+	return out
+}

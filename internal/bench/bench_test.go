@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvsim/internal/core"
+)
+
+func report(results ...Result) Report {
+	return Report{GoOS: "linux", GoArch: "amd64", CPUs: 8, Results: results}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report(Result{Name: "1", Events: 100, NsPerEvent: 100, AllocsPerOp: 1000})
+	fresh := report(Result{Name: "1", Events: 100, NsPerEvent: 250, AllocsPerOp: 1100})
+	if msgs := Compare(fresh, base, 4.0, 1.25); len(msgs) != 0 {
+		t.Fatalf("unexpected regressions: %v", msgs)
+	}
+}
+
+func TestCompareFlagsTimeRegression(t *testing.T) {
+	base := report(Result{Name: "1", Events: 100, NsPerEvent: 100, AllocsPerOp: 1000})
+	fresh := report(Result{Name: "1", Events: 100, NsPerEvent: 500, AllocsPerOp: 1000})
+	msgs := Compare(fresh, base, 4.0, 1.25)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "ns/event") {
+		t.Fatalf("msgs = %v, want one ns/event regression", msgs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := report(Result{Name: "1", Events: 100, NsPerEvent: 100, AllocsPerOp: 1000})
+	fresh := report(Result{Name: "1", Events: 100, NsPerEvent: 100, AllocsPerOp: 2000})
+	msgs := Compare(fresh, base, 4.0, 1.25)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "allocs/op") {
+		t.Fatalf("msgs = %v, want one allocs/op regression", msgs)
+	}
+}
+
+func TestCompareFlagsEventCountDrift(t *testing.T) {
+	base := report(Result{Name: "1", Events: 100, NsPerEvent: 100, AllocsPerOp: 1000})
+	fresh := report(Result{Name: "1", Events: 101, NsPerEvent: 100, AllocsPerOp: 1000})
+	msgs := Compare(fresh, base, 4.0, 1.25)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "events fired changed") {
+		t.Fatalf("msgs = %v, want one event-drift message", msgs)
+	}
+}
+
+func TestCompareIgnoresUnknownExperiments(t *testing.T) {
+	base := report(Result{Name: "1", Events: 100, NsPerEvent: 100, AllocsPerOp: 1000})
+	fresh := report(Result{Name: "2C", Events: 999, NsPerEvent: 9999, AllocsPerOp: 9999})
+	if msgs := Compare(fresh, base, 4.0, 1.25); len(msgs) != 0 {
+		t.Fatalf("new experiment without baseline should pass, got %v", msgs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := report(
+		Result{Name: "1", Events: 42, WallS: 0.5, NsPerEvent: 11.9, EventsPerSec: 84, BytesPerOp: 1024, AllocsPerOp: 7},
+		Result{Name: "2C", Events: 77, WallS: 1.25, NsPerEvent: 16.2, EventsPerSec: 61.6, BytesPerOp: 2048, AllocsPerOp: 9},
+	)
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[1] != want.Results[1] || got.CPUs != 8 {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestRunExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	rep := RunExperiments([]core.ID{core.Exp1}, core.DefaultParams())
+	if len(rep.Results) != 1 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+	r := rep.Results[0]
+	if r.Events == 0 || r.NsPerEvent <= 0 || r.EventsPerSec <= 0 || r.AllocsPerOp <= 0 {
+		t.Fatalf("implausible measurement: %+v", r)
+	}
+	// Events fired is a property of the simulation, not the machine.
+	again := RunExperiments([]core.ID{core.Exp1}, core.DefaultParams())
+	if again.Results[0].Events != r.Events {
+		t.Fatalf("event count not deterministic: %d vs %d", r.Events, again.Results[0].Events)
+	}
+}

@@ -164,6 +164,9 @@ type Outcome struct {
 	Rnorm  float64
 	// FramesDropped counts source frames no node accepted in time.
 	FramesDropped int
+	// Events is the number of kernel events the run fired — the
+	// denominator of the benchmark harness's events/sec throughput.
+	Events uint64
 	// FaultStats counts the faults an active scenario injected; zero
 	// when the run had no fault injection.
 	FaultStats fault.Stats
@@ -336,6 +339,7 @@ func runNoIO(id ID, p Params, at cpu.OperatingPoint, instrument bool) Outcome {
 		Frames:       n.FramesProcessed,
 		BatteryLifeH: wallH,
 		WallH:        wallH,
+		Events:       k.Fired(),
 		NodeStats:    []NodeStat{statOf(n)},
 		PortStats:    portStatsOf(net),
 		Metrics:      reg.Snapshot(),
@@ -606,6 +610,7 @@ func (r *Rig) outcome(id ID, p Params) Outcome {
 		BatteryLifeH:  float64(frames) * p.FrameDelayS / 3600,
 		WallH:         float64(r.lastResult) / 3600,
 		FramesDropped: r.Host.FramesDropped,
+		Events:        r.K.Fired(),
 		FaultStats:    r.Injector.Stats(),
 		PortStats:     portStatsOf(r.Net),
 		Metrics:       r.Metrics.Snapshot(),
@@ -771,9 +776,12 @@ func statOf(n *node.Node) NodeStat {
 
 // RunSuite executes the given experiments and fills the normalized
 // metrics (§4.5): Tnorm(N) = T(N)/N and Rnorm(N) = Tnorm(N)/T(1). The
-// baseline is run if not already in the list.
+// baseline is run if not already in the list. Experiments run on all
+// cores; each is an independent deterministic simulation and results
+// are returned in input order, so the output is identical to a serial
+// evaluation (see RunSuiteParallel for an explicit worker count).
 func RunSuite(ids []ID, p Params) []Outcome {
-	return RunSuiteParallel(ids, p, 1)
+	return RunSuiteParallel(ids, p, 0)
 }
 
 // RunSuiteParallel is RunSuite with the experiments evaluated

@@ -5,8 +5,6 @@
 package host
 
 import (
-	"fmt"
-
 	"dvsim/internal/metrics"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
@@ -158,9 +156,10 @@ func (h *Host) runSource(p *sim.Proc) {
 		}
 		h.queueDepth.Set(float64(q))
 		// Deliver from a dedicated process so pacing never blocks on a
-		// busy node; the port preserves posting order.
+		// busy node; the port preserves posting order. The process is
+		// detached: nothing observes it, so the kernel may recycle it.
 		frame := frame
-		h.k.Spawn(fmt.Sprintf("host-frame-%d", frame), func(p *sim.Proc) {
+		h.k.SpawnDetached("host-frame", func(p *sim.Proc) {
 			msg := serial.Message{
 				Kind:  serial.KindFrame,
 				Frame: frame,

@@ -23,12 +23,14 @@ type SamplePoint struct {
 // simulation's own stop condition triggers, exactly like any other
 // self-rescheduling watchdog.
 type Sampler struct {
-	key     Key
-	period  sim.Duration
-	fn      func() float64
-	series  []SamplePoint
-	k       *sim.Kernel
-	ev      *sim.Event
+	key    Key
+	period sim.Duration
+	fn     func() float64
+	series []SamplePoint
+	k      *sim.Kernel
+	// ev is the reusable tick event: each tick re-targets it with
+	// Reschedule rather than allocating a fresh event per period.
+	ev      sim.Event
 	stopped bool
 }
 
@@ -44,7 +46,8 @@ func (r *Registry) Sample(name, node string, period sim.Duration, fn func() floa
 	}
 	s := &Sampler{key: Key{name, node}, period: period, fn: fn, k: r.k}
 	r.samplers = append(r.samplers, s)
-	s.ev = r.k.At(r.k.Now(), s.tick)
+	s.ev.Bind(s.tick)
+	r.k.Reschedule(&s.ev, r.k.Now())
 	return s
 }
 
@@ -54,7 +57,7 @@ func (s *Sampler) tick() {
 		return
 	}
 	s.series = append(s.series, SamplePoint{T: float64(s.k.Now()), V: s.fn()})
-	s.ev = s.k.After(s.period, s.tick)
+	s.k.Reschedule(&s.ev, s.k.Now()+sim.Time(s.period))
 }
 
 // Stop takes a final sample at the present instant (so the series
@@ -64,10 +67,7 @@ func (s *Sampler) Stop() {
 	if s == nil || s.stopped {
 		return
 	}
-	if s.ev != nil {
-		s.k.Cancel(s.ev)
-		s.ev = nil
-	}
+	s.k.Cancel(&s.ev)
 	if n := len(s.series); n == 0 || s.series[n-1].T < float64(s.k.Now()) {
 		s.series = append(s.series, SamplePoint{T: float64(s.k.Now()), V: s.fn()})
 	}

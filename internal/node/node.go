@@ -126,6 +126,17 @@ type Node struct {
 	proc *sim.Proc
 	met  instruments
 
+	// Hoisted serial callbacks: method values allocate a closure per
+	// evaluation, so the frame loop's Recv/Send options reference these
+	// fields, bound once in New, instead of building them per frame.
+	acceptKindFn func(serial.Message) bool
+	commStartFn  func()
+	idleFn       func()
+	sendStartFn  func()
+	// sendQueued anchors sendStartFn's down-wait measurement for the
+	// frame's outbound transfer.
+	sendQueued sim.Time
+
 	// Online DVS governor state: gov is the policy instance (nil when
 	// ungoverned), govPoint the governed compute point overriding the
 	// role's static assignment (zero = none). sendWaitS records how long
@@ -195,7 +206,7 @@ func New(k *sim.Kernel, net *serial.Network, pw *Power, cfg Config, roles []Role
 	// A bad spec reaching here is a programming error: core validates
 	// governor configuration at load/flag-parse time.
 	gov := governor.MustNew(cfg.Governor)
-	return &Node{
+	n := &Node{
 		gov:   gov,
 		met:   met,
 		Name:  name,
@@ -209,6 +220,11 @@ func New(k *sim.Kernel, net *serial.Network, pw *Power, cfg Config, roles []Role
 		roleIdx: phys,
 		phys:    phys,
 	}
+	n.acceptKindFn = n.acceptKind
+	n.commStartFn = n.commStart
+	n.idleFn = n.idle
+	n.sendStartFn = n.onSendStart
+	return n
 }
 
 // Wire connects the node to the pipeline ring and the host sink port.
@@ -439,22 +455,22 @@ func (n *Node) governReset() {
 	n.govPoint = cpu.OperatingPoint{}
 }
 
-// sendStart returns the TxOpts.OnStart callback for an outbound data
-// transfer: under a governor it additionally records, once per frame,
-// how long the offer waited before the downstream port accepted it
-// (the buffer-aware policy's congestion signal).
+// sendStart arms and returns the TxOpts.OnStart callback for an
+// outbound data transfer: under a governor it additionally records,
+// once per frame, how long the offer waited before the downstream port
+// accepted it (the buffer-aware policy's congestion signal).
 func (n *Node) sendStart(p *sim.Proc) func() {
-	if n.gov == nil {
-		return n.commStart
+	n.sendQueued = p.Now()
+	return n.sendStartFn
+}
+
+// onSendStart is the hoisted body of the callback sendStart arms.
+func (n *Node) onSendStart() {
+	if n.gov != nil && !n.sendWaitSet {
+		n.sendWaitSet = true
+		n.sendWaitS = float64(n.k.Now() - n.sendQueued)
 	}
-	queued := p.Now()
-	return func() {
-		if !n.sendWaitSet {
-			n.sendWaitSet = true
-			n.sendWaitS = float64(p.Now() - queued)
-		}
-		n.commStart()
-	}
+	n.commStart()
 }
 
 // runNoIO is the 0A/0B loop: back-to-back whole-algorithm computation.
@@ -484,9 +500,9 @@ func (n *Node) obtainInput(p *sim.Proc) (frame int, payload any, ok bool) {
 		n.idle() // blocked waiting is idle time
 		msg, err := n.port.RecvOpts(p, serial.RxOpts{
 			Deadline: n.recvDeadline(p),
-			Match:    n.acceptKind,
-			OnStart:  n.commStart,
-			OnAbort:  n.idle, // faulted transfer discarded; back to waiting
+			Match:    n.acceptKindFn,
+			OnStart:  n.commStartFn,
+			OnAbort:  n.idleFn, // faulted transfer discarded; back to waiting
 		})
 		n.idle()
 		switch {
@@ -499,7 +515,7 @@ func (n *Node) obtainInput(p *sim.Proc) (frame int, payload any, ok bool) {
 				src := n.ring[n.upstreamPhys()]
 				err := n.port.SendReliable(p, src.Port(), serial.Message{
 					Kind: serial.KindAck, Frame: msg.Frame,
-				}, serial.TxOpts{OnStart: n.commStart, OnBackoff: n.idle}, n.cfg.Retry)
+				}, serial.TxOpts{OnStart: n.commStartFn, OnBackoff: n.idleFn}, n.cfg.Retry)
 				n.idle()
 				if err != nil && !serial.IsFault(err) && !errors.Is(err, serial.ErrRetriesExhausted) {
 					return 0, nil, false
@@ -535,6 +551,9 @@ func (n *Node) recvDeadline(p *sim.Proc) sim.Time {
 	}
 	return sim.Infinity
 }
+
+// isAck matches acknowledgment transactions (sendOutput's ack wait).
+func isAck(m serial.Message) bool { return m.Kind == serial.KindAck }
 
 // acceptKind filters the node's inbound port traffic to the data messages
 // its role expects; acks are consumed explicitly by sendOutput.
@@ -576,7 +595,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 	if role.Index == len(n.roles) {
 		err := n.port.SendReliable(p, n.hostSink, serial.Message{
 			Kind: serial.KindResult, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload,
-		}, serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idle}, n.cfg.Retry)
+		}, serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idleFn}, n.cfg.Retry)
 		n.idle()
 		if err != nil && (serial.IsFault(err) || errors.Is(err, serial.ErrRetriesExhausted)) {
 			return true, n.abandon()
@@ -587,7 +606,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 	msg := serial.Message{Kind: serial.KindInter, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload}
 	if !n.cfg.Ack {
 		err := n.port.SendReliable(p, dst.Port(), msg,
-			serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idle}, n.cfg.Retry)
+			serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idleFn}, n.cfg.Retry)
 		n.idle()
 		if err != nil && (serial.IsFault(err) || errors.Is(err, serial.ErrRetriesExhausted)) {
 			return true, n.abandon()
@@ -597,15 +616,15 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 	// Recovery protocol: deliver, then await the ack.
 	deadline := p.Now() + sim.Time(n.cfg.D+n.cfg.AckTimeoutS)
 	err := n.port.SendReliable(p, dst.Port(), msg,
-		serial.TxOpts{Deadline: deadline, OnStart: n.sendStart(p), OnBackoff: n.idle}, n.cfg.Retry)
+		serial.TxOpts{Deadline: deadline, OnStart: n.sendStart(p), OnBackoff: n.idleFn}, n.cfg.Retry)
 	n.idle()
 	if err == nil {
 		ackDeadline := p.Now() + sim.Time(n.cfg.AckTimeoutS)
 		_, err = n.port.RecvOpts(p, serial.RxOpts{
 			Deadline: ackDeadline,
-			Match:    func(m serial.Message) bool { return m.Kind == serial.KindAck },
-			OnStart:  n.commStart,
-			OnAbort:  n.idle,
+			Match:    isAck,
+			OnStart:  n.commStartFn,
+			OnAbort:  n.idleFn,
 		})
 		n.idle()
 	}

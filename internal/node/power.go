@@ -24,8 +24,10 @@ type Power struct {
 	cpu *cpu.CPU
 	bat battery.Model
 
-	lastT     sim.Time
-	death     *sim.Event
+	lastT sim.Time
+	// death is the reusable battery-exhaustion event; every Transition
+	// re-targets it with Reschedule instead of allocating a new event.
+	death     sim.Event
 	dead      bool
 	suspended bool
 
@@ -33,9 +35,10 @@ type Power struct {
 	// empties. It typically interrupts the node's process.
 	OnDeath func()
 
-	// Accounting per mode (seconds and mA·s at the battery).
-	modeTime   map[cpu.Mode]float64
-	modeCharge map[cpu.Mode]float64
+	// Accounting per mode (seconds and mA·s at the battery), indexed by
+	// cpu.Mode (Idle, Comm, Compute).
+	modeTime   [3]float64
+	modeCharge [3]float64
 
 	// traceOn records every constant-power span, for timeline figures.
 	traceOn bool
@@ -63,12 +66,18 @@ type ModeSpan struct {
 func NewPower(k *sim.Kernel, c *cpu.CPU, bat battery.Model) *Power {
 	pw := &Power{
 		k: k, cpu: c, bat: bat,
-		lastT:      k.Now(),
-		modeTime:   make(map[cpu.Mode]float64),
-		modeCharge: make(map[cpu.Mode]float64),
+		lastT: k.Now(),
 	}
+	pw.death.Bind(pw.deathFire)
 	pw.arm()
 	return pw
+}
+
+// deathFire is the death event's bound callback: settle the final
+// segment, then declare exhaustion.
+func (pw *Power) deathFire() {
+	pw.settle()
+	pw.die()
 }
 
 // SetMetrics installs labeled telemetry counters for the node that owns
@@ -142,10 +151,7 @@ func (pw *Power) settle() {
 
 // arm schedules the death event for the present draw.
 func (pw *Power) arm() {
-	if pw.death != nil {
-		pw.k.Cancel(pw.death)
-		pw.death = nil
-	}
+	pw.k.Cancel(&pw.death)
 	if pw.dead || pw.suspended {
 		return
 	}
@@ -153,10 +159,7 @@ func (pw *Power) arm() {
 	if math.IsInf(tte, 1) {
 		return
 	}
-	pw.death = pw.k.After(sim.Duration(tte), func() {
-		pw.settle()
-		pw.die()
-	})
+	pw.k.Reschedule(&pw.death, pw.k.Now()+sim.Time(tte))
 }
 
 func (pw *Power) die() {
@@ -164,10 +167,7 @@ func (pw *Power) die() {
 		return
 	}
 	pw.dead = true
-	if pw.death != nil {
-		pw.k.Cancel(pw.death)
-		pw.death = nil
-	}
+	pw.k.Cancel(&pw.death)
 	if pw.OnDeath != nil {
 		pw.OnDeath()
 	}
@@ -197,10 +197,7 @@ func (pw *Power) Suspend() {
 	}
 	pw.settle()
 	pw.suspended = true
-	if pw.death != nil {
-		pw.k.Cancel(pw.death)
-		pw.death = nil
-	}
+	pw.k.Cancel(&pw.death)
 }
 
 // Resume restarts metering after Suspend, settling the rest interval at
@@ -217,8 +214,5 @@ func (pw *Power) Resume() {
 // Finish settles any outstanding segment (call at the end of a run).
 func (pw *Power) Finish() {
 	pw.settle()
-	if pw.death != nil {
-		pw.k.Cancel(pw.death)
-		pw.death = nil
-	}
+	pw.k.Cancel(&pw.death)
 }

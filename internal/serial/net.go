@@ -74,13 +74,15 @@ type Message struct {
 	Note string
 }
 
-// offer is a sender waiting at a receiver's port.
+// offer is a sender waiting at a receiver's port. The rendezvous
+// channels are embedded values so a send costs one allocation, not
+// three.
 type offer struct {
 	msg       Message
 	withdrawn bool
 	fault     FaultVerdict // set when the transfer was dropped or garbled
-	accepted  *sim.Chan[struct{}]
-	done      *sim.Chan[struct{}]
+	accepted  sim.Chan[struct{}]
+	done      sim.Chan[struct{}]
 }
 
 // PortStats is one port's transfer accounting, split by direction. The
@@ -293,11 +295,9 @@ func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error
 		deadline = sim.Infinity
 	}
 	msg.From = pt.name
-	of := &offer{
-		msg:      msg,
-		accepted: sim.NewChan[struct{}](p.Kernel(), "accepted"),
-		done:     sim.NewChan[struct{}](p.Kernel(), "done"),
-	}
+	of := &offer{msg: msg}
+	of.accepted.Init(p.Kernel(), "accepted")
+	of.done.Init(p.Kernel(), "done")
 	dst.pending = append(dst.pending, of)
 	if q := dst.Pending(); q > dst.stats.MaxPending {
 		dst.stats.MaxPending = q

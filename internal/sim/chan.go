@@ -11,18 +11,22 @@ type Chan[T any] struct {
 	k      *Kernel
 	name   string
 	queue  []T
-	recvrs []*chanWaiter[T]
+	recvrs []waiterRef
 	closed bool
-}
-
-type chanWaiter[T any] struct {
-	deliver func(msg wakeMsg)
-	dead    bool // set when the waiter gave up (timeout/interrupt)
 }
 
 // NewChan creates a channel on kernel k. The name appears in diagnostics.
 func NewChan[T any](k *Kernel, name string) *Chan[T] {
 	return &Chan[T]{k: k, name: name}
+}
+
+// Init prepares a zero Chan value in place, for embedding channels in
+// larger structures without one allocation per channel. It must be called
+// before any other method; reinitializing a channel in use is not
+// supported.
+func (c *Chan[T]) Init(k *Kernel, name string) {
+	c.k = k
+	c.name = name
 }
 
 // Name returns the channel's diagnostic name.
@@ -59,16 +63,27 @@ func (c *Chan[T]) Close() {
 	}
 }
 
-// wakeOne delivers to the first live waiter, if any.
+// wakeOne delivers to the longest-blocked live waiter, if any. Waiters
+// whose episode lapsed (receiver timed out or moved on) are skipped.
 func (c *Chan[T]) wakeOne(err error) {
 	for len(c.recvrs) > 0 {
 		w := c.recvrs[0]
 		c.recvrs = c.recvrs[1:]
-		if w.dead {
-			continue
+		if w.p.deliverAt(w.seq, wakeMsg{err: err}) {
+			return
 		}
-		w.deliver(wakeMsg{err: err})
-		return
+	}
+}
+
+// dropWaiter removes the waiter registered under (p, seq), preserving
+// FIFO order. Receivers that leave with an error remove themselves so
+// the waiter list holds only parked processes.
+func (c *Chan[T]) dropWaiter(p *Proc, seq uint64) {
+	for i := range c.recvrs {
+		if c.recvrs[i].p == p && c.recvrs[i].seq == seq {
+			c.recvrs = append(c.recvrs[:i], c.recvrs[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -100,27 +115,22 @@ func (c *Chan[T]) RecvDeadline(p *Proc, deadline Time) (T, error) {
 		if deadline <= p.k.now {
 			return zero, ErrTimeout
 		}
-		w := &chanWaiter[T]{}
-		var timer *Event
-		msg := p.block("Recv "+c.name, func(deliver func(wakeMsg)) {
-			w.deliver = deliver
-			c.recvrs = append(c.recvrs, w)
-			if deadline < Infinity {
-				timer = p.k.At(deadline, func() {
-					w.dead = true
-					deliver(wakeMsg{err: ErrTimeout})
-				})
-			}
-		})
-		w.dead = true
-		if timer != nil {
-			p.k.Cancel(timer)
+		seq := p.blockBegin("Recv", c.name)
+		c.recvrs = append(c.recvrs, waiterRef{p: p, seq: seq})
+		hasDeadline := deadline < Infinity
+		if hasDeadline {
+			p.armTimer(seq, deadline, ErrTimeout)
+		}
+		msg := p.park()
+		if hasDeadline {
+			p.k.Cancel(&p.timer)
 		}
 		if msg.err != nil {
 			// On timeout/interrupt a value may have raced in via wakeOne
 			// before the timer fired; the loop re-checks the queue first,
 			// so nothing is lost — but a wake consumed by a dying waiter
 			// must be passed on.
+			c.dropWaiter(p, seq)
 			if len(c.queue) > 0 {
 				c.wakeOne(nil)
 			}

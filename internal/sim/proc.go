@@ -27,6 +27,14 @@ type wakeMsg struct {
 	reason any   // payload: interrupt reason or received value
 }
 
+// waiterRef identifies one blocking episode of a process: the block
+// epoch seq only matches while the process is still parked in the block
+// that registered the reference, so stale refs are harmless.
+type waiterRef struct {
+	p   *Proc
+	seq uint64
+}
+
 // ProcState describes what a process is doing, for traces.
 type ProcState int
 
@@ -61,6 +69,10 @@ func (s ProcState) String() string {
 // WaitUntil, and the channel/resource operations in this package). Blocking
 // operations return an error when the process is interrupted or the kernel
 // shuts down; bodies should propagate such errors and return.
+//
+// A Proc allocates nothing per blocking operation: wakeups are delivered
+// through hoisted callbacks guarded by a block-epoch counter, and timed
+// waits reuse one embedded timer Event per process.
 type Proc struct {
 	k    *Kernel
 	id   uint64
@@ -69,18 +81,51 @@ type Proc struct {
 	wake   chan wakeMsg  // kernel -> proc: resume
 	parked chan struct{} // proc -> kernel: parked or finished
 
-	// deliver is non-nil exactly while the process is blocked. Calling it
-	// wakes the process with the given message; only the first call wins.
-	deliver func(msg wakeMsg)
-	// blockedIn names the blocking call, for deadlock diagnostics.
-	blockedIn string
+	// blockSeq numbers blocking episodes; armed is true from blockBegin
+	// until the episode's wake is claimed. Together they make every
+	// registered wake path one-shot: deliverAt(seq, …) is a no-op unless
+	// seq names the current episode.
+	blockSeq uint64
+	armed    bool
+	// starting marks the episode between Spawn and the start event.
+	starting bool
+	// timedOut records that the current episode's wake was claimed by
+	// the deadline timer (a waiter that gave up, for Chan bookkeeping).
+	timedOut bool
+	// pending carries the wake message from deliverAt to resumeFn.
+	pending wakeMsg
+
+	// blockedOp/blockedObj name the blocking call (e.g. "Recv", "data0")
+	// for deadlock diagnostics, without building the combined string on
+	// the hot path.
+	blockedOp  string
+	blockedObj string
 
 	done    bool
 	killErr error
 	state   ProcState
 
 	// joiners are woken when the process finishes.
-	joiners []func(wakeMsg)
+	joiners []waiterRef
+
+	// timer is the process's reusable deadline event: a process runs one
+	// blocking operation at a time, so one handle serves every timed wait
+	// (and doubles as the spawn start event). timerSeq/timerErr are the
+	// episode and error the armed timer will deliver.
+	timer    Event
+	timerSeq uint64
+	timerErr error
+
+	// Hoisted callbacks, bound once per process so the hot wake/timer
+	// paths never allocate closures.
+	resumeFn func()
+	timerFn  func()
+	startFn  func()
+
+	// body and freeNext support detached processes recycled through the
+	// kernel free-list (see SpawnDetached).
+	body     func(p *Proc)
+	freeNext *Proc
 }
 
 // Name returns the process name given at Spawn.
@@ -98,6 +143,24 @@ func (p *Proc) Done() bool { return p.done }
 // Err returns the error the process was terminated with, if any.
 func (p *Proc) Err() error { return p.killErr }
 
+func newProc(k *Kernel, name string) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		wake:   make(chan wakeMsg),
+		parked: make(chan struct{}),
+		state:  StateCreated,
+	}
+	p.resumeFn = func() { p.resume(p.pending) }
+	p.timerFn = func() {
+		if p.deliverAt(p.timerSeq, wakeMsg{err: p.timerErr}) {
+			p.timedOut = true
+		}
+	}
+	p.startFn = func() { p.start() }
+	return p
+}
+
 // Spawn starts a new process at the current simulated time. The body fn
 // begins executing when the kernel reaches the start event; Spawn itself
 // returns immediately.
@@ -107,26 +170,60 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt starts a new process at absolute time t ≥ Now.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		k:      k,
-		name:   name,
-		wake:   make(chan wakeMsg),
-		parked: make(chan struct{}),
-		state:  StateCreated,
-	}
+	p := newProc(k, name)
 	k.procs[p] = struct{}{}
 	go p.run(fn)
-	start := k.At(t, func() { p.resume(wakeMsg{}) })
-	p.id = start.seq
-	// A process waiting to start can still be shut down: deliver unwinds
-	// the pending start event.
-	p.deliver = func(msg wakeMsg) {
-		p.deliver = nil
-		k.Cancel(start)
-		p.resume(msg)
-	}
+	p.beginStart(t)
 	k.trace(p, StateCreated, "spawn")
 	return p
+}
+
+// SpawnDetached starts a fire-and-forget process at the current time.
+// The caller must not retain or share any reference to the process:
+// finished detached processes (goroutine, channels, embedded timer) are
+// recycled through a kernel free-list, so a held pointer could alias a
+// later, unrelated process. Use Spawn when the process must be observed
+// (Join, Interrupt, Done) after spawning.
+func (k *Kernel) SpawnDetached(name string, fn func(p *Proc)) {
+	p := k.freeProc
+	if p == nil {
+		p = newProc(k, name)
+		go p.runDetached()
+	} else {
+		k.freeProc = p.freeNext
+		p.freeNext = nil
+		p.name = name
+		p.done = false
+		p.killErr = nil
+		p.state = StateCreated
+	}
+	p.body = fn
+	k.procs[p] = struct{}{}
+	p.beginStart(k.now)
+	k.trace(p, StateCreated, "spawn")
+}
+
+// beginStart queues the start event for a (re)spawned process. The
+// embedded timer handle carries it; p.id is the start sequence number,
+// preserving spawn-order determinism.
+func (p *Proc) beginStart(t Time) {
+	p.blockSeq++
+	p.armed = true
+	p.starting = true
+	p.timedOut = false
+	p.timer.fn = p.startFn
+	p.k.Reschedule(&p.timer, t)
+	p.id = p.timer.seq
+}
+
+// start fires from the start event and hands the process its first slice.
+func (p *Proc) start() {
+	if !p.armed || !p.starting {
+		return
+	}
+	p.armed = false
+	p.starting = false
+	p.resume(wakeMsg{})
 }
 
 // run is the goroutine body: wait for the initial resume, execute fn,
@@ -136,39 +233,85 @@ func (p *Proc) run(fn func(p *Proc)) {
 	if msg.err != nil {
 		// Killed before it ever ran.
 		p.killErr = msg.err
-		p.finish()
+		p.finish(false)
 		return
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			if kd, ok := r.(killed); ok {
 				p.killErr = kd.err
-				p.finish()
+				p.finish(false)
 				return
 			}
 			// Record the panic, return control to the kernel, then crash:
 			// dying silently on a detached goroutine would hang the kernel.
 			p.killErr = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
-			p.finish()
+			p.finish(false)
 			panic(r)
 		}
-		p.finish()
+		p.finish(false)
 	}()
-	p.deliver = nil
 	p.setState(StateRunning, "start")
 	fn(p)
 }
 
-// finish marks the process done and returns control to the kernel.
-func (p *Proc) finish() {
+// runDetached is the goroutine body of a pooled process: it serves one
+// body per activation and parks on the free-list between them, so frame-
+// rate spawners reuse one goroutine instead of creating one per spawn.
+func (p *Proc) runDetached() {
+	for {
+		msg := <-p.wake
+		if msg.err != nil {
+			// Killed before starting (kernel shutdown): exit for good.
+			p.killErr = msg.err
+			p.finish(false)
+			return
+		}
+		if !p.runBody() {
+			return
+		}
+	}
+}
+
+// runBody executes one detached body under the kill/panic protocol and
+// reports whether the goroutine should keep serving the free-list.
+func (p *Proc) runBody() (again bool) {
+	again = true
+	defer func() {
+		if r := recover(); r != nil {
+			again = false
+			if kd, ok := r.(killed); ok {
+				p.killErr = kd.err
+				p.finish(false)
+				return
+			}
+			p.killErr = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			p.finish(false)
+			panic(r)
+		}
+		p.finish(true)
+	}()
+	p.setState(StateRunning, "start")
+	p.body(p)
+	return
+}
+
+// finish marks the process done, wakes joiners, optionally releases it to
+// the detached free-list, and returns control to the kernel.
+func (p *Proc) finish(release bool) {
 	p.done = true
-	p.deliver = nil
+	p.armed = false
+	p.body = nil
 	p.setState(StateDone, "done")
 	delete(p.k.procs, p)
 	for _, j := range p.joiners {
-		j(wakeMsg{})
+		j.p.deliverAt(j.seq, wakeMsg{})
 	}
-	p.joiners = nil
+	p.joiners = p.joiners[:0]
+	if release {
+		p.freeNext = p.k.freeProc
+		p.k.freeProc = p
+	}
 	p.parked <- struct{}{}
 }
 
@@ -179,35 +322,82 @@ func (p *Proc) resume(msg wakeMsg) {
 	<-p.parked
 }
 
-// block parks the process with a registered wake path. prepare runs before
-// parking and receives the one-shot deliver function; it typically stores
-// the function where some future event can find it. block returns the wake
-// message. Shutdown unwinds the process via panic(killed{...}).
-func (p *Proc) block(why string, prepare func(deliver func(msg wakeMsg))) wakeMsg {
-	armed := true
-	p.deliver = func(msg wakeMsg) {
-		if !armed {
-			return
-		}
-		armed = false
-		p.deliver = nil
-		// Route the wake through the event queue so wake ordering is
-		// determined by schedule order, never by goroutine scheduling.
-		p.k.At(p.k.now, func() { p.resume(msg) })
+// deliverAt wakes the process out of block episode seq with msg. Exactly
+// one delivery per episode wins; the rest are no-ops. It reports whether
+// the wake was consumed: false means the target had already given up
+// (stale episode, or a same-instant timeout), so the caller may pass the
+// wake to another waiter.
+func (p *Proc) deliverAt(seq uint64, msg wakeMsg) bool {
+	if p.blockSeq != seq {
+		return false
 	}
-	if prepare != nil {
-		prepare(p.deliver)
+	if !p.armed {
+		// Already woken this episode. A timeout means the waiter gave up
+		// (skip it); any other wake is consumed — the resuming waiter is
+		// responsible for passing the signal on.
+		return !p.timedOut
 	}
-	p.setState(StateBlocked, why)
-	p.blockedIn = why
+	p.armed = false
+	p.timedOut = false
+	if p.starting {
+		// Unwinding a process that never started: drop the pending start
+		// event and resume directly (pre-start interrupts and shutdown
+		// may run when no further events are allowed to fire).
+		p.starting = false
+		p.k.Cancel(&p.timer)
+		p.resume(msg)
+		return true
+	}
+	p.pending = msg
+	// Route the wake through the event queue so wake ordering is
+	// determined by schedule order, never by goroutine scheduling.
+	p.k.post(p.resumeFn)
+	return true
+}
+
+// blockBegin opens a new blocking episode and returns its epoch, which
+// wake sources pass back through deliverAt.
+func (p *Proc) blockBegin(op, obj string) uint64 {
+	p.blockSeq++
+	p.armed = true
+	p.timedOut = false
+	p.blockedOp, p.blockedObj = op, obj
+	return p.blockSeq
+}
+
+// armTimer schedules the episode's deadline on the process's reusable
+// timer event. On expiry the current episode (and only it) is woken with
+// err.
+func (p *Proc) armTimer(seq uint64, t Time, err error) {
+	p.timerSeq = seq
+	p.timerErr = err
+	p.timer.fn = p.timerFn
+	p.k.Reschedule(&p.timer, t)
+}
+
+// park suspends the process until the current episode's wake arrives.
+// Shutdown unwinds the process via panic(killed{...}).
+func (p *Proc) park() wakeMsg {
+	p.state = StateBlocked
+	if p.k.tracer != nil {
+		p.k.tracer.ProcState(p.k.now, p, StateBlocked, p.blockedWhy())
+	}
 	p.parked <- struct{}{}
 	msg := <-p.wake
-	p.blockedIn = ""
+	p.blockedOp, p.blockedObj = "", ""
 	if msg.err != nil && errors.Is(msg.err, ErrShutdown) {
 		panic(killed{msg.err})
 	}
 	p.setState(StateRunning, "resume")
 	return msg
+}
+
+// blockedWhy renders the blocking call for diagnostics ("Recv data0").
+func (p *Proc) blockedWhy() string {
+	if p.blockedObj == "" {
+		return p.blockedOp
+	}
+	return p.blockedOp + " " + p.blockedObj
 }
 
 // Wait suspends the process for d seconds of simulated time. It returns
@@ -226,12 +416,11 @@ func (p *Proc) WaitUntil(t Time) error {
 	if t < p.k.now {
 		t = p.k.now
 	}
-	var timer *Event
-	msg := p.block("Wait", func(deliver func(wakeMsg)) {
-		timer = p.k.At(t, func() { deliver(wakeMsg{}) })
-	})
+	seq := p.blockBegin("Wait", "")
+	p.armTimer(seq, t, nil)
+	msg := p.park()
 	if msg.err != nil {
-		p.k.Cancel(timer)
+		p.k.Cancel(&p.timer)
 		return msg.err
 	}
 	return nil
@@ -243,9 +432,9 @@ func (p *Proc) Join(other *Proc) error {
 	if other.Done() {
 		return p.Wait(0) // yield once for deterministic ordering
 	}
-	msg := p.block("Join "+other.name, func(deliver func(wakeMsg)) {
-		other.joiners = append(other.joiners, deliver)
-	})
+	seq := p.blockBegin("Join", other.name)
+	other.joiners = append(other.joiners, waiterRef{p: p, seq: seq})
+	msg := p.park()
 	if msg.err != nil {
 		return msg.err
 	}
@@ -260,18 +449,16 @@ func (p *Proc) Interrupt(reason any) {
 	if p.done {
 		return
 	}
-	if d := p.deliver; d != nil {
-		d(wakeMsg{err: ErrInterrupted, reason: reason})
+	if p.armed {
+		p.deliverAt(p.blockSeq, wakeMsg{err: ErrInterrupted, reason: reason})
 		return
 	}
 	// Running: arm a one-shot that fires when it next blocks.
 	p.k.At(p.k.now, func() {
-		if p.done {
+		if p.done || !p.armed {
 			return
 		}
-		if d := p.deliver; d != nil {
-			d(wakeMsg{err: ErrInterrupted, reason: reason})
-		}
+		p.deliverAt(p.blockSeq, wakeMsg{err: ErrInterrupted, reason: reason})
 	})
 }
 
@@ -281,11 +468,15 @@ func (p *Proc) kill(err error) {
 		delete(p.k.procs, p)
 		return
 	}
-	if d := p.deliver; d != nil {
+	if p.armed {
 		// Deliver directly rather than via the queue: shutdown runs after
 		// the queue has drained, so no more events will fire.
-		p.deliver = nil
+		p.armed = false
 		p.killErr = err
+		if p.starting {
+			p.starting = false
+			p.k.Cancel(&p.timer)
+		}
 		p.resume(wakeMsg{err: err})
 		return
 	}

@@ -14,7 +14,8 @@ type Resource struct {
 }
 
 type resWaiter struct {
-	deliver func(msg wakeMsg)
+	p       *Proc
+	seq     uint64
 	n       int
 	dead    bool
 	granted bool
@@ -62,11 +63,10 @@ func (r *Resource) AcquireN(p *Proc, n int) error {
 		r.inUse += n
 		return nil
 	}
-	w := &resWaiter{n: n}
-	msg := p.block("Acquire "+r.name, func(deliver func(wakeMsg)) {
-		w.deliver = deliver
-		r.waiters = append(r.waiters, w)
-	})
+	w := &resWaiter{p: p, n: n}
+	w.seq = p.blockBegin("Acquire", r.name)
+	r.waiters = append(r.waiters, w)
+	msg := p.park()
 	if msg.err != nil {
 		if w.granted {
 			// The grant raced with the interrupt and already charged our
@@ -105,6 +105,6 @@ func (r *Resource) grant() {
 		r.waiters = r.waiters[1:]
 		r.inUse += w.n
 		w.granted = true
-		w.deliver(wakeMsg{})
+		w.p.deliverAt(w.seq, wakeMsg{})
 	}
 }

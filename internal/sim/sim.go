@@ -14,10 +14,20 @@
 // The kernel is the substrate for every experiment in this repository: CPU
 // activity, serial transactions, battery integration and node control loops
 // are all expressed as events or processes on a single Kernel.
+//
+// # Performance
+//
+// The event queue is an inlined 4-ary min-heap of value entries: pushing
+// an event copies a small struct into the heap's backing array and never
+// allocates per schedule (beyond amortized slice growth). Cancellation is
+// lazy — Cancel and Reschedule mark the handle and leave the stale heap
+// entry behind to be skipped when it surfaces — so neither is O(log n).
+// Internal wakeups (process resumes) are scheduled as handle-free entries
+// and allocate nothing. Periodic callers reuse one Event handle through
+// Reschedule instead of allocating per occurrence.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -32,70 +42,80 @@ type Duration = Time
 // Infinity is a time later than any schedulable event.
 const Infinity Time = Time(math.MaxFloat64)
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
+// Event is a scheduled callback handle. It is returned by the scheduling
+// methods so callers can cancel it before it fires, and a caller that owns
+// an Event may reuse it for a whole series of occurrences via Reschedule.
 type Event struct {
 	t        Time
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when not queued
+	queued   bool
 }
 
-// Time reports when the event is (or was) scheduled to fire.
+// Time reports when the event is (or was last) scheduled to fire.
 func (e *Event) Time() Time { return e.t }
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*Event
+// Bind sets the callback a zero Event handle fires, for use with
+// Reschedule. Events returned by At and After are already bound.
+func (e *Event) Bind(fn func()) { e.fn = fn }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+// entry is one slot of the event heap. Entries are pointer-free values:
+// sift operations copy plain scalars, so heap maintenance incurs no GC
+// write barriers and the (large, churning) queue array is never scanned.
+// The callback and cancellation handle live in the kernel's slot slab,
+// indexed by slot; an entry is a snapshot of one (re)scheduling of its
+// handle, and is stale — skipped on pop — once the handle was canceled
+// or rescheduled since.
+type entry struct {
+	t    Time
+	seq  uint64
+	slot int32
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// eventSlot holds the pointerful half of a queued entry: the callback
+// and, for cancelable events, the handle. Slots are recycled through
+// Kernel.freeSlots as entries are popped.
+type eventSlot struct {
+	e  *Event
+	fn func()
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// before is the queue order: time first, then scheduling sequence, so
+// same-instant events fire in the order they were scheduled.
+func (a *entry) before(b *entry) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
 }
 
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	stopped bool
-	procs   map[*Proc]struct{}
-	tracer  Tracer
+	now       Time
+	queue     []entry // 4-ary min-heap ordered by entry.before
+	slots     []eventSlot
+	freeSlots []int32
+	seq       uint64
+	live      int // queued entries that are not stale
+	stopped   bool
+	procs     map[*Proc]struct{}
+	tracer    Tracer
 
 	// fired counts events executed, for diagnostics and run limits.
 	fired uint64
 	// scheduled counts events ever queued, for telemetry.
 	scheduled uint64
-	// maxQueue is the high-water mark of the event heap.
+	// maxQueue is the high-water mark of live queued events.
 	maxQueue int
 	// limit aborts runaway simulations; 0 means no limit.
 	limit uint64
+
+	// freeProc heads the free-list of finished detached processes; their
+	// goroutines, channels and embedded timer Events are recycled by
+	// SpawnDetached. See proc.go.
+	freeProc *Proc
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty queue.
@@ -113,11 +133,11 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // canceled).
 func (k *Kernel) Scheduled() uint64 { return k.scheduled }
 
-// QueueLen returns the number of events currently queued, including
-// canceled entries not yet drained.
-func (k *Kernel) QueueLen() int { return len(k.queue) }
+// QueueLen returns the number of pending (scheduled, neither fired nor
+// canceled) events.
+func (k *Kernel) QueueLen() int { return k.live }
 
-// MaxQueueLen returns the high-water mark of the event queue.
+// MaxQueueLen returns the high-water mark of pending events.
 func (k *Kernel) MaxQueueLen() int { return k.maxQueue }
 
 // LiveProcs returns the number of spawned processes that have not
@@ -135,19 +155,133 @@ func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 // Tracer returns the installed tracer, or nil.
 func (k *Kernel) Tracer() Tracer { return k.tracer }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// (t < Now) panics: allowing it would silently reorder causality.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// heapPush appends an entry and sifts it up with a hole (the moving
+// entry is written once, at its final position). The heap is 4-ary:
+// wider fan-out halves the tree depth, and pops — where most
+// comparisons happen — stay cache-friendly because the four children
+// are adjacent.
+func (k *Kernel) heapPush(ent entry) {
+	q := append(k.queue, ent)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ent.before(&q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ent
+	k.queue = q
+}
+
+// heapPop removes and returns the minimum entry, sifting the displaced
+// tail entry down with a hole.
+func (k *Kernel) heapPop() entry {
+	q := k.queue
+	top := q[0]
+	n := len(q) - 1
+	moved := q[n]
+	q = q[:n]
+	k.queue = q
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q[c].before(&q[best]) {
+				best = c
+			}
+		}
+		if !q[best].before(&moved) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = moved
+	return top
+}
+
+// takeTop pops the minimum entry, releases its slot and returns its
+// payload. ok distinguishes a live event from a stale (superseded) one.
+func (k *Kernel) takeTop() (ent entry, e *Event, fn func(), ok bool) {
+	ent = k.heapPop()
+	s := &k.slots[ent.slot]
+	e, fn = s.e, s.fn
+	*s = eventSlot{} // release references
+	k.freeSlots = append(k.freeSlots, ent.slot)
+	ok = e == nil || (!e.canceled && e.seq == ent.seq)
+	return ent, e, fn, ok
+}
+
+// topStale reports whether the heap's head entry was superseded.
+func (k *Kernel) topStale() bool {
+	ent := &k.queue[0]
+	e := k.slots[ent.slot].e
+	return e != nil && (e.canceled || e.seq != ent.seq)
+}
+
+// drainStale pops superseded entries off the top of the heap. It is the
+// one place stale entries leave the queue; every mutation (Cancel,
+// Reschedule, step) restores the invariant that the heap's head is live
+// whenever any live event exists, so Idle, NextEventTime and RunUntil's
+// peek are pure reads.
+func (k *Kernel) drainStale() {
+	for len(k.queue) > 0 && k.topStale() {
+		k.takeTop()
+	}
+}
+
+// schedule queues fn at time t under a fresh sequence number, tied to
+// handle e (nil for internal wakeups), and returns that sequence number.
+func (k *Kernel) schedule(t Time, e *Event, fn func()) uint64 {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &Event{t: t, seq: k.seq, fn: fn, index: -1}
+	seq := k.seq
 	k.seq++
 	k.scheduled++
-	heap.Push(&k.queue, e)
-	if len(k.queue) > k.maxQueue {
-		k.maxQueue = len(k.queue)
+	k.live++
+	if k.live > k.maxQueue {
+		k.maxQueue = k.live
 	}
+	var slot int32
+	if n := len(k.freeSlots); n > 0 {
+		slot = k.freeSlots[n-1]
+		k.freeSlots = k.freeSlots[:n-1]
+		k.slots[slot] = eventSlot{e: e, fn: fn}
+	} else {
+		slot = int32(len(k.slots))
+		k.slots = append(k.slots, eventSlot{e: e, fn: fn})
+	}
+	k.heapPush(entry{t: t, seq: seq, slot: slot})
+	return seq
+}
+
+// post schedules fn at the current instant with no cancellation handle.
+// It is the kernel's zero-allocation path for internal wakeups: fn must
+// be a long-lived func value (hoisted, not built at the call site).
+func (k *Kernel) post(fn func()) {
+	k.schedule(k.now, nil, fn)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: allowing it would silently reorder causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	e := &Event{t: t, fn: fn}
+	e.seq = k.schedule(t, e, fn)
+	e.queued = true
 	return e
 }
 
@@ -161,33 +295,62 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 
 // Cancel removes the event from the queue if it has not fired.
 // Canceling an already-fired or already-canceled event is a no-op.
+// The heap entry is left behind and skipped when it surfaces.
 func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+	if e == nil {
+		return
+	}
+	if e.canceled || !e.queued {
+		e.canceled = true
 		return
 	}
 	e.canceled = true
-	heap.Remove(&k.queue, e.index)
+	e.queued = false
+	k.live--
+	k.drainStale()
+}
+
+// Reschedule moves e to fire at absolute time t, reusing the handle and
+// its bound callback: periodic callers allocate one Event for a whole
+// series of occurrences instead of one per tick. The handle may be
+// pending (its old occurrence is superseded), fired, canceled, or a zero
+// Event bound with Bind. Scheduling in the past panics, as with At.
+func (k *Kernel) Reschedule(e *Event, t Time) {
+	if e.fn == nil {
+		panic("sim: Reschedule of an unbound Event (missing Bind)")
+	}
+	if e.queued {
+		e.queued = false
+		k.live--
+	}
+	e.canceled = false
+	e.t = t
+	e.seq = k.schedule(t, e, e.fn)
+	e.queued = true
+	k.drainStale()
 }
 
 // step fires the next event. It reports false when the queue is empty.
 func (k *Kernel) step() bool {
 	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.canceled {
+		ent, e, fn, ok := k.takeTop()
+		if !ok {
 			continue
 		}
-		if e.t < k.now {
+		if e != nil {
+			e.queued = false
+		}
+		k.live--
+		if ent.t < k.now {
 			panic("sim: event queue time went backwards")
 		}
-		k.now = e.t
+		k.now = ent.t
 		k.fired++
 		if k.limit > 0 && k.fired > k.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
 		}
-		e.fn()
+		k.drainStale()
+		fn()
 		return true
 	}
 	return false
@@ -205,18 +368,7 @@ func (k *Kernel) Run() {
 // Events scheduled after t remain queued.
 func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
-	for !k.stopped {
-		if len(k.queue) == 0 {
-			break
-		}
-		next := k.queue[0]
-		if next.canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
-		if next.t > t {
-			break
-		}
+	for !k.stopped && k.live > 0 && k.queue[0].t <= t {
 		k.step()
 	}
 	if k.now < t {
@@ -228,32 +380,22 @@ func (k *Kernel) RunUntil(t Time) {
 // events are preserved; a later Run resumes them.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Idle reports whether no events remain queued.
-func (k *Kernel) Idle() bool {
-	for len(k.queue) > 0 {
-		if !k.queue[0].canceled {
-			return false
-		}
-		heap.Pop(&k.queue)
-	}
-	return true
-}
+// Idle reports whether no events remain queued. It is a pure read.
+func (k *Kernel) Idle() bool { return k.live == 0 }
 
 // NextEventTime returns the time of the earliest pending event,
-// or Infinity when the queue is empty.
+// or Infinity when the queue is empty. It is a pure read.
 func (k *Kernel) NextEventTime() Time {
-	for len(k.queue) > 0 {
-		if !k.queue[0].canceled {
-			return k.queue[0].t
-		}
-		heap.Pop(&k.queue)
+	if k.live > 0 {
+		return k.queue[0].t
 	}
 	return Infinity
 }
 
 // shutdownProcs terminates all parked processes so their goroutines exit.
 // Called when Run drains the queue; processes receive ErrShutdown from
-// their blocking call and are expected to return promptly.
+// their blocking call and are expected to return promptly. The detached
+// process free-list is drained last so recycled goroutines exit too.
 func (k *Kernel) shutdownProcs() {
 	for len(k.procs) > 0 {
 		var p *Proc
@@ -265,6 +407,11 @@ func (k *Kernel) shutdownProcs() {
 		}
 		p.kill(ErrShutdown)
 	}
+	for p := k.freeProc; p != nil; p = p.freeNext {
+		p.wake <- wakeMsg{err: ErrShutdown}
+		<-p.parked
+	}
+	k.freeProc = nil
 }
 
 // Diagnose lists the live (not finished) processes and the blocking call
@@ -280,7 +427,7 @@ func (k *Kernel) Diagnose() []string {
 	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
 	out := make([]string, 0, len(procs))
 	for _, p := range procs {
-		where := p.blockedIn
+		where := p.blockedWhy()
 		if where == "" {
 			where = "runnable"
 		}

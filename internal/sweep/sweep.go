@@ -8,14 +8,42 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// Panic carries a worker panic back to Run's caller. The re-raised
+// value preserves which input failed, the original panic value and the
+// worker goroutine's stack trace — without it the stack visible at the
+// caller would point at Run's bookkeeping, not at the failing fn.
+type Panic struct {
+	// Input is the index into Run's inputs whose fn panicked.
+	Input int
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("sweep: input %d panicked: %v\n\nworker stack:\n%s", p.Input, p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.Is/As see through the sweep wrapper.
+func (p *Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Run evaluates fn over every input on up to workers goroutines and
 // returns the outputs in input order. workers ≤ 0 selects GOMAXPROCS.
 // A panic in any fn is re-raised on the caller's goroutine (after all
-// workers have stopped), so a failing configuration cannot be silently
-// dropped.
+// workers have stopped) as a *Panic carrying the failing input index
+// and the worker's stack trace, so a failing configuration cannot be
+// silently dropped or reduced to an unlocatable value.
 func Run[I, O any](inputs []I, workers int, fn func(I) O) []O {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -37,7 +65,7 @@ func Run[I, O any](inputs []I, workers int, fn func(I) O) []O {
 	next := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var firstPanic any
+	var firstPanic *Panic
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -46,9 +74,12 @@ func Run[I, O any](inputs []I, workers int, fn func(I) O) []O {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							// Capture the stack here, on the worker, while
+							// the failing frames are still below us.
+							p := &Panic{Input: i, Value: r, Stack: debug.Stack()}
 							mu.Lock()
-							if firstPanic == nil {
-								firstPanic = fmt.Sprintf("sweep: input %d panicked: %v", i, r)
+							if firstPanic == nil || p.Input < firstPanic.Input {
+								firstPanic = p
 							}
 							mu.Unlock()
 						}

@@ -84,8 +84,23 @@ func TestRunPropagatesPanic(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic swallowed")
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("panic payload %v", r)
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("panic payload %T, want *Panic", r)
+		}
+		if p.Input != 5 {
+			t.Errorf("Input = %d, want 5", p.Input)
+		}
+		if p.Value != "boom" {
+			t.Errorf("Value = %v, want boom", p.Value)
+		}
+		// The stack must point at the failing fn, not at Run's
+		// bookkeeping goroutine plumbing.
+		if !strings.Contains(string(p.Stack), "sweep_test.go") {
+			t.Errorf("worker stack does not reach the failing fn:\n%s", p.Stack)
+		}
+		if !strings.Contains(p.Error(), "boom") || !strings.Contains(p.Error(), "input 5") {
+			t.Errorf("Error() = %q", p.Error())
 		}
 	}()
 	Run([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4, func(x int) int {
@@ -95,6 +110,50 @@ func TestRunPropagatesPanic(t *testing.T) {
 		return x
 	})
 }
+
+func TestRunPanicPrefersLowestInput(t *testing.T) {
+	// With several failing inputs the re-raised panic is the lowest
+	// input index, independent of worker scheduling.
+	for trial := 0; trial < 20; trial++ {
+		func() {
+			defer func() {
+				p, ok := recover().(*Panic)
+				if !ok || p.Input != 2 {
+					t.Fatalf("recovered %v, want input 2", p)
+				}
+			}()
+			Run([]int{0, 1, 2, 3, 4, 5, 6, 7}, 4, func(x int) int {
+				if x >= 2 {
+					panic(x)
+				}
+				return x
+			})
+		}()
+	}
+}
+
+func TestRunPanicUnwrapsError(t *testing.T) {
+	sentinel := errStr("kaput")
+	defer func() {
+		p, ok := recover().(*Panic)
+		if !ok {
+			t.Fatal("want *Panic")
+		}
+		if p.Unwrap() != sentinel {
+			t.Fatalf("Unwrap() = %v, want %v", p.Unwrap(), sentinel)
+		}
+	}()
+	Run([]int{0, 1}, 2, func(x int) int {
+		if x == 1 {
+			panic(sentinel)
+		}
+		return x
+	})
+}
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
 
 func TestGridCrossProduct(t *testing.T) {
 	g := Grid(

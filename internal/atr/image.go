@@ -3,7 +3,6 @@ package atr
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // Frame dimensions: 101×100 8-bit pixels = 10,100 bytes, matching the
@@ -203,7 +202,7 @@ type PlacedTarget struct {
 
 // Scene generates synthetic sensor frames with known ground truth.
 type Scene struct {
-	rng       *rand.Rand
+	rng       *rng
 	Templates []Template
 	// NoiseSigma is the additive Gaussian clutter level.
 	NoiseSigma float64
@@ -211,10 +210,13 @@ type Scene struct {
 	Background float64
 }
 
-// NewScene returns a deterministic scene generator.
+// NewScene returns a deterministic scene generator. Frames are a pure
+// function of the seed: the generator is a self-contained splitmix64
+// stream (see rng.go), so synthesized scenes are byte-stable across Go
+// releases.
 func NewScene(seed int64) *Scene {
 	return &Scene{
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        newRNG(seed),
 		Templates:  DefaultTemplates(),
 		NoiseSigma: 0.05,
 		Background: 0.2,
@@ -226,16 +228,16 @@ func NewScene(seed int64) *Scene {
 func (s *Scene) Frame(n int) (*Image, []PlacedTarget) {
 	im := NewImage(FrameW, FrameH)
 	for i := range im.Pix {
-		im.Pix[i] = clampUnit(s.Background + s.rng.NormFloat64()*s.NoiseSigma)
+		im.Pix[i] = clampUnit(s.Background + s.rng.normFloat64()*s.NoiseSigma)
 	}
 	var placed []PlacedTarget
 	for i := 0; i < n; i++ {
-		tpl := s.Templates[s.rng.Intn(len(s.Templates))]
-		dist := 60 + s.rng.Float64()*120 // 60–180 m
+		tpl := s.Templates[s.rng.intn(len(s.Templates))]
+		dist := 60 + s.rng.float64()*120 // 60–180 m
 		size := apparentSize(tpl, dist)
 		scaled := tpl.Img.Resize(size, size)
-		x := s.rng.Intn(FrameW - size)
-		y := s.rng.Intn(FrameH - size)
+		x := s.rng.intn(FrameW - size)
+		y := s.rng.intn(FrameH - size)
 		for dy := 0; dy < size; dy++ {
 			for dx := 0; dx < size; dx++ {
 				v := scaled.At(dx, dy)

@@ -21,6 +21,7 @@ type CapacityScaler interface {
 // full. It reports whether the model supports scaling; factor 1 is a
 // no-op that leaves the model's state untouched.
 func ScaleCapacity(m Model, factor float64) bool {
+	//lint:allow floateq factor is a configured literal (scenario JSON), not a computed value; 1 means exactly "unscaled"
 	if factor == 1 {
 		return true
 	}

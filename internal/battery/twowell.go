@@ -192,6 +192,7 @@ func SolveTwoWell(constLo, constHi, cycleHi, cycleLo Anchor) (TwoWellParams, boo
 
 	tHi, tCy := constHi.TargetS, cycleHi.TargetS
 	iHi, iCy := mean(constHi.Cycle), mean(cycleHi.Cycle)
+	//lint:allow floateq degenerate-calibration guard: both are stored anchor targets, and only exact equality makes the division below singular
 	if tCy == tHi {
 		return p, false
 	}

@@ -59,6 +59,7 @@ var (
 // configurations are static, so a typo should fail loudly.
 func PointAt(fMHz float64) OperatingPoint {
 	for _, op := range Table {
+		//lint:allow floateq exact table lookup: both sides are stored literals from the paper's frequency table, never arithmetic results
 		if op.FreqMHz == fMHz {
 			return op
 		}

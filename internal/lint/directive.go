@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+
+	"dvsim/internal/lint/load"
+)
+
+// directives indexes //lint:allow comments by file and line. A
+// diagnostic is suppressed when a matching directive sits on the same
+// line or on the line directly above it (a comment on its own line).
+type directives map[directiveKey]bool
+
+type directiveKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func (d directives) allows(analyzer string, pos token.Position) bool {
+	return d[directiveKey{pos.Filename, pos.Line, analyzer}] ||
+		d[directiveKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// collectDirectives scans a package's comments for //lint:allow
+// directives. Malformed directives — a missing analyzer, an unknown
+// analyzer name, or no reason — are returned as findings: a silent
+// suppression that silences nothing (or everything) is its own bug.
+func collectDirectives(pkg *load.Package, known map[string]bool) (directives, []Finding) {
+	dirs := directives{}
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{
+						Analyzer: "directive", Pos: pos,
+						Message: "//lint:allow needs an analyzer name and a reason",
+					})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{
+						Analyzer: "directive", Pos: pos,
+						Message: "//lint:allow names unknown analyzer " + fields[0],
+					})
+				case len(fields) < 2:
+					bad = append(bad, Finding{
+						Analyzer: "directive", Pos: pos,
+						Message: "//lint:allow " + fields[0] + " needs a reason",
+					})
+				default:
+					dirs[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return dirs, bad
+}

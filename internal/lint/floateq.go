@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"dvsim/internal/lint/analysis"
+)
+
+// FloatEq flags == and != between floating-point expressions in the
+// continuous-math packages (sim, node, battery, cpu, governor).
+//
+// Invariant: quantities like simulated time, battery charge and busy
+// fractions are accumulated floats; exact equality between computed
+// values depends on summation order and compiler fusion, which is how
+// "same inputs, same outputs" quietly breaks between machines. Compare
+// with an epsilon, or compare in integer ticks/frames.
+//
+// Two shapes are exempt because they are exact by construction:
+// comparison against a constant zero (the untouched-value sentinel:
+// 0.0 assigned is 0.0 compared) and the x != x NaN probe. Comparing
+// two *stored* (never recomputed) values for identity — the event
+// queue's tie-break — is legitimate and annotated in place with
+// //lint:allow floateq.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= between floating-point expressions where epsilon or integer-tick comparison is required",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			if isConstZero(pass, bin.X) || isConstZero(pass, bin.Y) {
+				return true
+			}
+			if bin.Op == token.NEQ && sameIdent(bin.X, bin.Y) {
+				return true // NaN probe
+			}
+			pass.Reportf(bin.OpPos, "floating-point %s comparison: exact equality of computed floats is machine-dependent; use an epsilon or integer ticks (//lint:allow floateq only for identity of stored values)", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isConstZero reports whether e is a compile-time constant equal to 0.
+func isConstZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// sameIdent reports whether both expressions are the same identifier.
+func sameIdent(x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name
+}

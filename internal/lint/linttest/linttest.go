@@ -1,0 +1,160 @@
+// Package linttest runs dvsim's analyzers over fixture packages and
+// checks their diagnostics against expectations written in the
+// fixtures themselves — a minimal analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line states what must be reported on it with a trailing
+// comment of quoted regular expressions:
+//
+//	rand.Intn(6) // want `global math/rand` `math/rand in simulator`
+//
+// Every expectation must be matched by exactly one diagnostic on that
+// line, and every diagnostic must match an expectation. Fixtures live
+// under internal/lint/testdata/src and may import both the standard
+// library and dvsim packages; //lint:allow directives are honored, so
+// fixtures can exercise the suppression path too.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"dvsim/internal/lint"
+	"dvsim/internal/lint/analysis"
+	"dvsim/internal/lint/load"
+)
+
+// wantRE extracts the quoted or backquoted expectations of a want
+// comment.
+var wantRE = regexp.MustCompile("\"([^\"]*)\"|`([^`]*)`")
+
+// expectation is one unmatched want-regexp at a fixture line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at testdata/src/<name> and applies the
+// analyzers, failing the test on any mismatch between diagnostics and
+// want comments. It returns the findings for additional assertions.
+func Run(t *testing.T, name string, analyzers ...*analysis.Analyzer) []lint.Finding {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.LoadDir(ModRoot(t), dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, analyzers, lint.Options{IgnoreScope: true})
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		key := lineKey{f.Pos.Filename, f.Pos.Line}
+		if !claim(wants[key], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", position(f), f.Message, f.Analyzer)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, e.re)
+			}
+		}
+	}
+	return findings
+}
+
+// ModRoot locates the dvsim module root above the test's working
+// directory.
+func ModRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("linttest: no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants parses the fixture's want comments.
+func collectWants(t *testing.T, pkg *load.Package) map[lineKey][]*expectation {
+	t.Helper()
+	wants := map[lineKey][]*expectation{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := c.Text
+				if len(text) < 2 || text[:2] != "//" {
+					continue
+				}
+				body, ok := cutWant(text[2:])
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(body, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// cutWant strips the leading "want" keyword (with surrounding spaces)
+// from a comment body.
+func cutWant(s string) (string, bool) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	if len(s)-i < 4 || s[i:i+4] != "want" {
+		return "", false
+	}
+	return s[i+4:], true
+}
+
+// claim marks the first unmatched expectation matching msg.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func position(f lint.Finding) string {
+	return f.Pos.Filename + ":" + strconv.Itoa(f.Pos.Line)
+}

@@ -1,0 +1,228 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the analyzers, using only the standard library and the
+// go tool. Dependency types come from compiled export data: `go list
+// -export -deps` compiles every dependency into the build cache and
+// reports the export file per package, and go/importer's gc mode reads
+// those files back. The whole pipeline is offline — no module proxy,
+// no network — which is what lets dvsimlint run in CI and in the
+// sealed build container alike.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (fixture directory base for LoadDir)
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportLookup builds the import-path → export-file map for everything
+// reachable from the given patterns, compiling as needed.
+func exportLookup(modRoot string, patterns []string) (map[string]string, error) {
+	args := append([]string{"-e", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	entries, err := goList(modRoot, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// newImporter returns a types.Importer backed by the export map.
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// check parses and type-checks one package's files.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Load lists, parses and type-checks the packages matched by patterns,
+// resolved relative to modRoot (the module root directory). Test files
+// are not included: the invariants dvsimlint enforces guard the
+// simulator's production paths, and _test.go files live outside the
+// compiled package graph the export-data importer reconstructs.
+func Load(modRoot string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(modRoot, append([]string{"-json=ImportPath,Name,Dir,GoFiles,Incomplete,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportLookup(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Incomplete || t.Error != nil {
+			msg := "unknown error"
+			if t.Error != nil {
+				msg = t.Error.Err
+			}
+			return nil, fmt.Errorf("load: package %s: %s", t.ImportPath, msg)
+		}
+		if len(t.GoFiles) == 0 {
+			continue // test-only or empty package
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory that is not part
+// of the module build (an analysistest-style fixture under testdata).
+// Imports are resolved through modRoot, so fixtures may import both the
+// standard library and dvsim's own packages. The package's Path is the
+// directory base name.
+func LoadDir(modRoot, dir string) (*Package, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// Pre-parse to discover the fixture's imports, then resolve them
+	// (and their transitive dependencies) to export data in one go
+	// list call.
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var imports []string
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		exports, err = exportLookup(modRoot, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return check(fset, newImporter(fset, exports), filepath.Base(dir), dir, names)
+}
+
+// fixtureFiles lists the non-test Go files of a fixture directory.
+func fixtureFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if !ent.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dvsim/internal/lint"
+	"dvsim/internal/lint/linttest"
+)
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, "maprangefix", lint.MapRange)
+}

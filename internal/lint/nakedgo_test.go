@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dvsim/internal/lint"
+	"dvsim/internal/lint/linttest"
+)
+
+func TestNakedGo(t *testing.T) {
+	linttest.Run(t, "nakedgofix", lint.NakedGo)
+}

@@ -1,0 +1,13 @@
+// Package baddirective exercises the driver's directive validation: a
+// suppression that names nothing, no reason, or an unknown analyzer is
+// itself reported.
+package baddirective
+
+//lint:allow
+func a() {}
+
+//lint:allow floateq
+func b() {}
+
+//lint:allow frobnicate spurious reason
+func c() {}

@@ -1,0 +1,60 @@
+// Package eventreusefix exercises the eventreuse analyzer against the
+// real kernel API: the zero-alloc protocol is one owner, one Bind,
+// occurrences re-armed through Reschedule.
+package eventreusefix
+
+import "dvsim/internal/sim"
+
+// rebind misuses Bind on a handle At already bound: the queued
+// occurrence keeps firing the old callback.
+func rebind(k *sim.Kernel) {
+	ev := k.At(5, func() {})
+	ev.Bind(func() {}) // want `Bind on ev, an Event returned by At/After`
+}
+
+// churn re-arms by allocating a fresh handle per iteration instead of
+// rescheduling one.
+func churn(k *sim.Kernel) {
+	var ev *sim.Event
+	for i := 0; i < 10; i++ {
+		ev = k.After(1, func() {}) // want `At/After re-arms ev inside a loop`
+	}
+	_ = ev
+}
+
+// rebindLoop rebuilds a long-lived handle's closure every iteration.
+func rebindLoop(k *sim.Kernel) {
+	var ev sim.Event
+	for i := 0; i < 3; i++ {
+		ev.Bind(func() {}) // want `Bind on ev inside a loop`
+	}
+	k.Reschedule(&ev, 1)
+}
+
+// periodic is the sanctioned protocol: a zero Event, bound once, armed
+// and re-armed with Reschedule — nothing is flagged.
+func periodic(k *sim.Kernel) {
+	var tick sim.Event
+	n := 0
+	tick.Bind(func() {
+		n++
+		if n < 10 {
+			k.Reschedule(&tick, k.Now()+1)
+		}
+	})
+	k.Reschedule(&tick, 0)
+	k.Run()
+}
+
+// setupLoop binds one fresh handle per element of a slice — each
+// handle is declared inside the loop, so nothing is flagged.
+func setupLoop(k *sim.Kernel, delays []sim.Time) []*sim.Event {
+	evs := make([]*sim.Event, 0, len(delays))
+	for _, d := range delays {
+		var e sim.Event
+		e.Bind(func() {})
+		k.Reschedule(&e, d)
+		evs = append(evs, &e)
+	}
+	return evs
+}

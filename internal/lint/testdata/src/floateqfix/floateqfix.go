@@ -1,0 +1,34 @@
+// Package floateqfix exercises the floateq analyzer: exact equality of
+// computed floats depends on summation order and fusion, so simulator
+// math must compare with an epsilon or in integer ticks.
+package floateqfix
+
+type ticks float64
+
+func computed(a, b float64) bool {
+	return a+b == 1.0 // want `floating-point == comparison`
+}
+
+func named(t, u ticks) bool {
+	return t != u // want `floating-point != comparison`
+}
+
+// sentinelZero is exempt: a constant zero compares exactly against a
+// value that was assigned zero and never recomputed.
+func sentinelZero(x float64) bool {
+	return x == 0
+}
+
+// nanProbe is exempt: x != x is the standard NaN test.
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+func ints(i, j int) bool {
+	return i == j
+}
+
+func allowed(a, b float64) bool {
+	//lint:allow floateq fixture demonstrates identity comparison of stored values
+	return a == b
+}

@@ -1,0 +1,48 @@
+// Package maprangefix exercises the maprange analyzer: Go randomizes
+// map iteration order, so output emitted inside a range over a map
+// differs run to run — the exact bug class the telemetry-ordering
+// goldens catch dynamically.
+package maprangefix
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func emitUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map`
+	}
+}
+
+func emitWriter(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `writer call WriteString inside range over map`
+	}
+}
+
+// emitSorted is the sanctioned pattern: collect the keys, sort, then
+// emit from the slice. Neither loop is flagged — the first writes no
+// output, the second ranges over a slice.
+func emitSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, m[k])
+	}
+}
+
+// transform mutates data inside a map range without emitting: order
+// does not matter, so it is not flagged.
+func transform(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}

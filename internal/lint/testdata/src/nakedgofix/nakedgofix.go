@@ -1,0 +1,31 @@
+// Package nakedgofix exercises the nakedgo analyzer: outside
+// internal/sim, a raw goroutine races the kernel's one-runnable-at-a-
+// time handoff; all simulated concurrency must flow through
+// Spawn/SpawnDetached.
+package nakedgofix
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want `raw go statement`
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+// sanctioned shows the escape hatch for machinery that parallelizes
+// across independent simulations rather than inside one.
+func sanctioned(run func()) {
+	done := make(chan struct{})
+	//lint:allow nakedgo fixture demonstrates a justified pool outside the kernel's jurisdiction
+	go func() {
+		defer close(done)
+		run()
+	}()
+	<-done
+}

@@ -1,0 +1,11 @@
+package nondet
+
+// The directive path: a justified seeded use silences the import
+// finding in place.
+
+//lint:allow nondeterminism fixture demonstrates a justified, explicitly seeded import
+import "math/rand/v2"
+
+func seededV2() uint64 {
+	return rand.New(rand.NewPCG(1, 2)).Uint64()
+}

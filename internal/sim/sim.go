@@ -87,6 +87,7 @@ type eventSlot struct {
 // before is the queue order: time first, then scheduling sequence, so
 // same-instant events fire in the order they were scheduled.
 func (a *entry) before(b *entry) bool {
+	//lint:allow floateq tie-break on identity of stored times: both sides are copies of the same scheduled value, never recomputed
 	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
 }
 

@@ -68,6 +68,7 @@ func Run[I, O any](inputs []I, workers int, fn func(I) O) []O {
 	var firstPanic *Panic
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow nakedgo worker pool over independent simulations; each kernel is confined to one worker and results merge in input order
 		go func() {
 			defer wg.Done()
 			for i := range next {

@@ -5,11 +5,13 @@
 //
 //	dvsim [-exp 2C] [-all] [-rotation N] [-battery twowell|ideal|peukert|kibam]
 //	dvsim -run 2C -telemetry out.jsonl [-until SECONDS]
-//	dvsim -metrics [-run 2B]   # instrumented run, metrics snapshot as CSV
-//	dvsim -ports               # per-port serial accounting as CSV
+//	dvsim -metrics[=FILE] [-run 2B]   # instrumented run, metrics snapshot as CSV
+//	dvsim -ports[=FILE]               # per-port serial accounting as CSV
 //	dvsim -exp 2D -faults scenario.json   # fault injection (see scenarios/)
 //	dvsim -exp 2 -governor pid            # online DVS instead of the static table
 //	dvsim -exp 3A [-frames N]             # governor study: all four policies head to head
+//	dvsim -exp 1 -assert spec.json        # check an assertion catalog online during the run
+//	dvsim -check log.jsonl -assert spec.json   # replay a recorded telemetry log offline
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"dvsim/internal/assert"
 	"dvsim/internal/battery"
 	"dvsim/internal/bench"
 	"dvsim/internal/core"
@@ -25,6 +28,90 @@ import (
 	"dvsim/internal/governor"
 	"dvsim/internal/report"
 )
+
+// outFlag is an optional-value output flag: bare "-metrics" keeps the
+// historical stdout behaviour, "-metrics=FILE" writes FILE instead.
+type outFlag struct {
+	on   bool
+	path string
+}
+
+func (o *outFlag) String() string   { return o.path }
+func (o *outFlag) IsBoolFlag() bool { return true }
+func (o *outFlag) Set(v string) error {
+	switch v {
+	case "true":
+		o.on, o.path = true, ""
+	case "false":
+		o.on, o.path = false, ""
+	default:
+		o.on, o.path = true, v
+	}
+	return nil
+}
+
+// mustCreate opens an output file for writing, aborting with the
+// responsible flag's name on failure. Every output path is resolved
+// before the simulation starts, so a mistyped destination costs
+// nothing but the error message.
+func mustCreate(flagName, path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvsim: -%s: %v\n", flagName, err)
+		os.Exit(2)
+	}
+	return f
+}
+
+// writer resolves the flag's destination: stdout for the bare form,
+// the named file otherwise.
+func (o *outFlag) writer(flagName string) (io.Writer, func()) {
+	if o.path == "" {
+		return os.Stdout, func() {}
+	}
+	f := mustCreate(flagName, o.path)
+	return f, func() { f.Close() }
+}
+
+// finishAssertions renders each checked outcome's verdict, writes the
+// violations CSV when -violations asked for one, and exits non-zero
+// when any invariant failed. Unchecked runs (no catalog, or a no-I/O
+// experiment the catalog cannot observe) pass through silently.
+func finishAssertions(spec *assert.Spec, outs []core.Outcome, violW *os.File, stopProf func()) {
+	if violW != nil {
+		var all []assert.Violation
+		for _, o := range outs {
+			all = append(all, o.Violations...)
+		}
+		io.WriteString(violW, report.ViolationsCSV(all))
+		violW.Close()
+	}
+	if spec == nil {
+		return
+	}
+	code := 0
+	for _, o := range outs {
+		if o.AssertionsRun == 0 {
+			continue
+		}
+		name := spec.Name
+		if len(outs) > 1 {
+			tag := string(o.ID)
+			if o.Governor != "" {
+				tag += ":" + o.Governor
+			}
+			name = fmt.Sprintf("%s [exp %s]", name, tag)
+		}
+		fmt.Print(report.ViolationsTable(name, o.AssertionsRun, o.ViolationTotal, o.Violations))
+		if o.ViolationTotal > 0 {
+			code = 1
+		}
+	}
+	if code != 0 {
+		stopProf()
+		os.Exit(code)
+	}
+}
 
 func main() {
 	expFlag := flag.String("exp", "", "single experiment to run (0A, 0B, 1, 1A, 2, 2A, 2B, 2C, 2D)")
@@ -38,17 +125,55 @@ func main() {
 	runlog := flag.Float64("runlog", 0, "with -exp: emit a JSONL event log of the first N seconds instead of running to exhaustion")
 	telemetry := flag.String("telemetry", "", "with -exp/-run: write a telemetry JSONL log (mode/result/death/sample/link/latency events) to FILE ('-' for stdout)")
 	until := flag.Float64("until", 0, "simulated window in seconds for -telemetry (0 = 30 h, past every battery death)")
-	metricsFlag := flag.Bool("metrics", false, "run instrumented and print each experiment's metrics snapshot as CSV")
-	portsFlag := flag.Bool("ports", false, "print per-port serial accounting as CSV")
+	var metricsOut, portsOut outFlag
+	flag.Var(&metricsOut, "metrics", "run instrumented and write each experiment's metrics snapshot as CSV (bare = stdout, -metrics=FILE writes FILE)")
+	flag.Var(&portsOut, "ports", "write per-port serial accounting as CSV (bare = stdout, -ports=FILE writes FILE)")
 	faultsFile := flag.String("faults", "", "load a JSON fault scenario (link drop/garble, node crashes, battery variance) and inject it into the run")
 	governorFlag := flag.String("governor", "", "online DVS policy NAME[:key=value,...] applied to every pipeline node (static, interval, pid, buffer); e.g. pid:kp=0.5,ki=0.1")
 	framesFlag := flag.Int("frames", 0, "with -exp 3A: bound each governor run to N frames (0 = battery exhaustion)")
+	assertFile := flag.String("assert", "", "load a JSON assertion spec (see scenarios/assertions/) and check it against the run's telemetry stream; with -check, against a recorded log")
+	checkFile := flag.String("check", "", "replay a recorded telemetry JSONL FILE through the -assert spec and report the verdict (offline; no simulation)")
+	violationsFile := flag.String("violations", "", "write assertion violations as CSV to FILE (header-only when every invariant holds)")
 	paramsFile := flag.String("params", "", "load a JSON platform config instead of the calibrated Itsy defaults")
 	dump := flag.Bool("dumpparams", false, "write the default platform config as JSON and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to FILE")
 	flag.Parse()
+
+	// Resolve every output destination and spec up front: a bad path or
+	// spec must abort here, naming its flag, not after the simulation
+	// has spent its budget.
+	var telemetryW io.Writer
+	telemetryClose := func() {}
+	if *telemetry != "" {
+		telemetryW = os.Stdout
+		if *telemetry != "-" {
+			f := mustCreate("telemetry", *telemetry)
+			telemetryW, telemetryClose = f, func() { f.Close() }
+		}
+	}
+	var metricsW, portsW io.Writer
+	metricsDone, portsDone := func() {}, func() {}
+	if metricsOut.on {
+		metricsW, metricsDone = metricsOut.writer("metrics")
+	}
+	if portsOut.on {
+		portsW, portsDone = portsOut.writer("ports")
+	}
+	var violW *os.File
+	if *violationsFile != "" {
+		violW = mustCreate("violations", *violationsFile)
+	}
+	var spec *assert.Spec
+	if *assertFile != "" {
+		s, err := assert.LoadFile(*assertFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvsim: -assert: %v\n", err)
+			os.Exit(2)
+		}
+		spec = s
+	}
 
 	stopProf, err := bench.StartProfiles(*cpuprofile, *memprofile, *traceFile)
 	if err != nil {
@@ -60,6 +185,35 @@ func main() {
 	if *dump {
 		if err := core.SavePlatform(os.Stdout, core.DefaultPlatformConfig()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *checkFile != "" {
+		if spec == nil {
+			fmt.Fprintln(os.Stderr, "dvsim: -check needs -assert SPEC to know what to verify")
+			os.Exit(2)
+		}
+		eng := assert.MustNew(spec)
+		n, err := assert.ReplayFile(*checkFile, eng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvsim: -check: %v\n", err)
+			os.Exit(1)
+		}
+		vs := eng.Violations()
+		if violW != nil {
+			io.WriteString(violW, report.ViolationsCSV(vs))
+			violW.Close()
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d record(s) replayed against %s\n", *checkFile, n, *assertFile)
+		if *csvOut {
+			fmt.Print(report.ViolationsCSV(vs))
+		} else {
+			fmt.Print(report.ViolationsTable(eng.Name(), eng.Evaluated(), eng.Total(), vs))
+		}
+		if eng.Total() > 0 {
+			stopProf()
 			os.Exit(1)
 		}
 		return
@@ -95,13 +249,14 @@ func main() {
 		p.Faults = sc
 	}
 	if *governorFlag != "" {
-		spec, err := governor.ParseSpec(*governorFlag)
+		gspec, err := governor.ParseSpec(*governorFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		p.Governor = spec
+		p.Governor = gspec
 	}
+	p.Assertions = spec
 	switch *batFlag {
 	case "twowell":
 		// Default.
@@ -139,17 +294,8 @@ func main() {
 		if window <= 0 {
 			window = 30 * 3600
 		}
-		var w io.Writer = os.Stdout
-		if *telemetry != "-" {
-			f, err := os.Create(*telemetry)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			w = f
-		}
-		n, err := core.RunTelemetry(id, p, window, w)
+		n, err := core.RunTelemetry(id, p, window, telemetryW)
+		telemetryClose()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -178,9 +324,10 @@ func main() {
 		outs := core.RunGovernorStudy(p, *workers, *framesFlag)
 		if *csvOut {
 			fmt.Print(report.GovernorCSV(outs))
-			return
+		} else {
+			fmt.Println(report.GovernorTable(outs))
 		}
-		fmt.Println(report.GovernorTable(outs))
+		finishAssertions(spec, outs, violW, stopProf)
 		return
 	}
 
@@ -188,46 +335,48 @@ func main() {
 	if *expFlag != "" {
 		ids = []core.ID{core.ID(*expFlag)}
 	}
-	if *metricsFlag {
+	if metricsOut.on {
+		outs := make([]core.Outcome, 0, len(ids))
 		for _, id := range ids {
 			out := core.RunInstrumented(id, p)
-			fmt.Printf("# exp %s\n%s", out.ID, report.MetricsCSV(out.Metrics))
+			fmt.Fprintf(metricsW, "# exp %s\n%s", out.ID, report.MetricsCSV(out.Metrics))
+			outs = append(outs, out)
 		}
+		metricsDone()
+		finishAssertions(spec, outs, violW, stopProf)
 		return
 	}
 	outs := core.RunSuiteParallel(ids, p, *workers)
 
-	if *portsFlag {
-		fmt.Print(report.PortsCSV(outs))
-		return
-	}
-	if *csvOut {
+	switch {
+	case portsOut.on:
+		fmt.Fprint(portsW, report.PortsCSV(outs))
+		portsDone()
+	case *csvOut:
 		fmt.Print(report.CSV(outs))
-		return
-	}
-	if *compare {
+	case *compare:
 		fmt.Println(report.Compare(outs))
-		return
-	}
-
-	fmt.Printf("%-4s %-44s %6s %9s %9s %9s %7s %8s %8s\n",
-		"exp", "technique", "nodes", "T (h)", "paper(h)", "F", "paperF", "Tnorm", "Rnorm")
-	for _, o := range outs {
-		fmt.Printf("%-4s %-44s %6d %9.2f %9.2f %9d %7d %8.2f %7.0f%%\n",
-			o.ID, o.Label, o.Nodes, o.BatteryLifeH, core.PaperHours(o.ID),
-			o.Frames, core.PaperFrames(o.ID), o.TnormH, o.Rnorm*100)
-		if fs := o.FaultStats; fs.Total() > 0 {
-			fmt.Printf("     · faults injected: %d drops, %d garbles, %d crashes, %d restarts\n",
-				fs.Drops, fs.Garbles, fs.Crashes, fs.Restarts)
-		}
-		for _, ns := range o.NodeStats {
-			extra := ""
-			if ns.Crashes > 0 || ns.FramesAbandoned > 0 {
-				extra = fmt.Sprintf("  crash %d/%d  abandoned %d", ns.Crashes, ns.Restarts, ns.FramesAbandoned)
+	default:
+		fmt.Printf("%-4s %-44s %6s %9s %9s %9s %7s %8s %8s\n",
+			"exp", "technique", "nodes", "T (h)", "paper(h)", "F", "paperF", "Tnorm", "Rnorm")
+		for _, o := range outs {
+			fmt.Printf("%-4s %-44s %6d %9.2f %9.2f %9d %7d %8.2f %7.0f%%\n",
+				o.ID, o.Label, o.Nodes, o.BatteryLifeH, core.PaperHours(o.ID),
+				o.Frames, core.PaperFrames(o.ID), o.TnormH, o.Rnorm*100)
+			if fs := o.FaultStats; fs.Total() > 0 {
+				fmt.Printf("     · faults injected: %d drops, %d garbles, %d crashes, %d restarts\n",
+					fs.Drops, fs.Garbles, fs.Crashes, fs.Restarts)
 			}
-			fmt.Printf("     · %-8s died %6.2fh  proc %6d  results %6d  rot %4d  mig %d  %6.1f mAh  SoC %4.0f%%  (idle %.0fs comm %.0fs compute %.0fs)%s\n",
-				ns.Name, ns.DiedAtH, ns.FramesProcessed, ns.ResultsSent, ns.Rotations,
-				ns.Migrations, ns.DeliveredMAh, ns.FinalSoC*100, ns.IdleS, ns.CommS, ns.ComputeS, extra)
+			for _, ns := range o.NodeStats {
+				extra := ""
+				if ns.Crashes > 0 || ns.FramesAbandoned > 0 {
+					extra = fmt.Sprintf("  crash %d/%d  abandoned %d", ns.Crashes, ns.Restarts, ns.FramesAbandoned)
+				}
+				fmt.Printf("     · %-8s died %6.2fh  proc %6d  results %6d  rot %4d  mig %d  %6.1f mAh  SoC %4.0f%%  (idle %.0fs comm %.0fs compute %.0fs)%s\n",
+					ns.Name, ns.DiedAtH, ns.FramesProcessed, ns.ResultsSent, ns.Rotations,
+					ns.Migrations, ns.DeliveredMAh, ns.FinalSoC*100, ns.IdleS, ns.CommS, ns.ComputeS, extra)
+			}
 		}
 	}
+	finishAssertions(spec, outs, violW, stopProf)
 }

@@ -1,0 +1,76 @@
+package assert
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadValidSpec(t *testing.T) {
+	doc := `{
+  "name": "demo",
+  "assertions": [
+    {"name": "deadline", "type": "bound", "select": {"event": "latency"}, "max": 2.3},
+    {"name": "soc", "type": "monotone", "direction": "nonincreasing",
+     "select": {"event": "sample", "metric": "battery_soc"}, "tol": 1e-9},
+    {"name": "recovered", "type": "implies", "window_s": 60,
+     "select": {"event": "fault", "fault": "drop"},
+     "then": {"event": "retry"}, "match": ["from", "to", "kind"]}
+  ]
+}`
+	s, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || len(s.Assertions) != 3 {
+		t.Fatalf("bad spec %+v", s)
+	}
+	if _, err := New(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unknown field", `{"assertions":[{"name":"a","type":"bound","select":{"event":"latency"},"mx":1}]}`, "unknown field"},
+		{"no assertions", `{"name":"empty"}`, "no assertions"},
+		{"missing name", `{"assertions":[{"type":"bound","select":{"event":"latency"},"max":1}]}`, "missing name"},
+		{"duplicate name", `{"assertions":[
+			{"name":"a","type":"bound","select":{"event":"latency"},"max":1},
+			{"name":"a","type":"bound","select":{"event":"link"},"max":1}]}`, "duplicate assertion name"},
+		{"unknown type", `{"assertions":[{"name":"a","type":"frob","select":{"event":"latency"}}]}`, "unknown type"},
+		{"missing event", `{"assertions":[{"name":"a","type":"bound","select":{},"max":1}]}`, "missing event"},
+		{"unknown event", `{"assertions":[{"name":"a","type":"bound","select":{"event":"zap"},"max":1}]}`, "unknown event kind"},
+		{"violation unselectable", `{"assertions":[{"name":"a","type":"bound","select":{"event":"violation"},"max":1}]}`, "unknown event kind"},
+		{"unknown field name", `{"assertions":[{"name":"a","type":"bound","select":{"event":"latency"},"field":"volts","max":1}]}`, "unknown field"},
+		{"bound without limits", `{"assertions":[{"name":"a","type":"bound","select":{"event":"latency"}}]}`, "min and/or max"},
+		{"inverted bound", `{"assertions":[{"name":"a","type":"bound","select":{"event":"latency"},"min":2,"max":1}]}`, "above max"},
+		{"bad direction", `{"assertions":[{"name":"a","type":"monotone","select":{"event":"sample"},"direction":"down"}]}`, "direction"},
+		{"rate without window", `{"assertions":[{"name":"a","type":"rate","select":{"event":"retry"},"max":1}]}`, "window_s"},
+		{"implies without then", `{"assertions":[{"name":"a","type":"implies","select":{"event":"fault"},"window_s":1}]}`, "then"},
+		{"bad match field", `{"assertions":[{"name":"a","type":"implies","select":{"event":"fault"},
+			"then":{"event":"retry"},"window_s":1,"match":["color"]}]}`, "match field"},
+		{"settles without window", `{"assertions":[{"name":"a","type":"settles","select":{"event":"govern"}}]}`, "window_s"},
+		{"skew without max", `{"assertions":[{"name":"a","type":"skew","select":{"event":"sample"}}]}`, "max"},
+		{"negative tol", `{"assertions":[{"name":"a","type":"bound","select":{"event":"latency"},"max":1,"tol":-1}]}`, "negative tol"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(c.doc))
+			if err == nil {
+				t.Fatalf("spec %s unexpectedly valid", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSelectString(t *testing.T) {
+	s := Select{Event: "fault", Fault: "drop", From: "host-src"}
+	if got := s.String(); got != "fault fault=drop from=host-src" {
+		t.Fatalf("bad select string %q", got)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dvsim/internal/assert"
 	"dvsim/internal/atr"
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
@@ -175,8 +176,18 @@ type Outcome struct {
 	// network, sorted by port name.
 	PortStats []PortStat
 	// Metrics is the run's instrumentation snapshot; empty unless the
-	// run was instrumented (RunInstrumented, Options.Instrument).
+	// run was instrumented (RunInstrumented, Options.Instrument) —
+	// assertion-checked runs are instrumented implicitly.
 	Metrics metrics.Snapshot
+	// Violations are the assertion-catalog failures of a checked run in
+	// canonical order, capped per assertion (see internal/assert); nil
+	// when no catalog was configured. AssertionsRun counts the
+	// invariants evaluated and ViolationTotal every violation detected,
+	// truncated ones included — a checked, clean run has
+	// AssertionsRun > 0 and ViolationTotal == 0.
+	Violations     []assert.Violation
+	AssertionsRun  int
+	ViolationTotal int
 }
 
 // PortStat is one serial port's transfer accounting after a run.
@@ -404,6 +415,10 @@ type pipelineOpts struct {
 	governor governor.Spec
 	// onGovern observes every governor decision.
 	onGovern func(node string, ev governor.Event)
+	// assertions, when non-nil, checks the invariant catalog over the
+	// run's telemetry stream; Params.Assertions fills it when the
+	// caller leaves it nil.
+	assertions *assert.Spec
 }
 
 // Native carries the real-workload hooks for native pipeline execution:
@@ -621,12 +636,41 @@ func (r *Rig) outcome(id ID, p Params) Outcome {
 	return out
 }
 
-// runPipeline assembles the rig and runs to system exhaustion.
+// runPipeline assembles the rig and runs to system exhaustion. With an
+// assertion catalog active (opts.assertions, else Params.Assertions)
+// the run is forced traced + instrumented, its full telemetry record
+// stream is gathered exactly as RunTelemetry would, and the compiled
+// monitors' verdicts land in Outcome.Violations. A nil catalog — the
+// default — takes the plain path: no recorder, no extra allocations.
 func runPipeline(id ID, p Params, stages []stageSetup, opts pipelineOpts) Outcome {
+	spec := opts.assertions
+	if spec == nil {
+		spec = p.Assertions
+	}
+	// Specs reaching a run were validated at load time (assert.Load,
+	// Options plumbing), so a compile failure is a programming error —
+	// the same contract as fault.MustInjector.
+	eng := assert.MustNew(spec)
+	if eng == nil {
+		rig := buildPipeline(p, stages, opts)
+		rig.Start()
+		rig.K.Run()
+		return rig.outcome(id, p)
+	}
+	opts.trace = true
+	opts.instrument = true
+	rc := &recorder{telemetry: true}
+	rc.hooks(&opts)
 	rig := buildPipeline(p, stages, opts)
+	rc.attach(rig)
 	rig.Start()
 	rig.K.Run()
-	return rig.outcome(id, p)
+	records := rc.collect(rig)
+	out := rig.outcome(id, p)
+	out.Violations = evalAssertions(eng, records)
+	out.AssertionsRun = eng.Evaluated()
+	out.ViolationTotal = eng.Total()
+	return out
 }
 
 // StageConfig describes one stage of a custom pipeline: its block span
@@ -664,6 +708,10 @@ type Options struct {
 	Governor governor.Spec
 	// OnGovern, when set, observes every governor decision.
 	OnGovern func(node string, ev governor.Event)
+	// Assertions, when non-nil, evaluates the invariant catalog over
+	// the run's telemetry stream (see internal/assert); it takes
+	// precedence over Params.Assertions.
+	Assertions *assert.Spec
 }
 
 // RunCustom simulates a custom pipeline to system exhaustion: one node
@@ -696,6 +744,7 @@ func RunCustom(label string, p Params, stages []StageConfig, opts Options) Outco
 		faults:     faults,
 		governor:   opts.Governor,
 		onGovern:   opts.OnGovern,
+		assertions: opts.Assertions,
 	})
 	out.Label = label
 	return out
@@ -798,10 +847,12 @@ func RunSuiteParallel(ids []ID, p Params, workers int) []Outcome {
 	}
 	if t1 == 0 {
 		// The implicit baseline exists purely to anchor Rnorm; it runs
-		// fault-free so a scenario aimed at the pipeline under test does
-		// not distort the reference lifetime.
+		// fault-free and unchecked so a scenario or catalog aimed at the
+		// pipeline under test does not distort (or slow) the reference
+		// lifetime.
 		pb := p
 		pb.Faults = nil
+		pb.Assertions = nil
 		t1 = Run(Exp1, pb).BatteryLifeH
 	}
 	for i := range outs {

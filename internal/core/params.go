@@ -7,6 +7,7 @@ package core
 import (
 	"sync"
 
+	"dvsim/internal/assert"
 	"dvsim/internal/atr"
 	"dvsim/internal/battery"
 	"dvsim/internal/cpu"
@@ -57,6 +58,14 @@ type Params struct {
 	// (see internal/governor). The zero spec — the default — leaves the
 	// paper's static behaviour byte-identical.
 	Governor governor.Spec
+	// Assertions, when non-nil, evaluates the invariant catalog over
+	// every pipeline run's telemetry stream (see internal/assert):
+	// violations land in Outcome.Violations and, for RunTelemetry, as
+	// "violation" records in the JSONL. Checked runs force tracing and
+	// instrumentation on; nil — the default — costs nothing (no-I/O
+	// experiments 0A/0B are never checked, same restriction as
+	// telemetry).
+	Assertions *assert.Spec
 }
 
 // DefaultParams returns the platform as calibrated against the paper.

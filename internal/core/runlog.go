@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"dvsim/internal/assert"
 	"dvsim/internal/fault"
 	"dvsim/internal/governor"
 	"dvsim/internal/host"
@@ -24,8 +25,9 @@ type LogRecord struct {
 	// Event is "mode", "result" or "death" for plain logs; telemetry
 	// logs add "sample", "link", "latency", — when a fault scenario is
 	// active — "fault" (an injected drop/garble/crash/restart) and
-	// "retry" (a scheduled retransmission), and — when a governor is
-	// active — "govern" (one online DVS decision).
+	// "retry" (a scheduled retransmission), — when a governor is
+	// active — "govern" (one online DVS decision), and — when an
+	// assertion catalog is active — "violation" (one failed invariant).
 	Event string `json:"event"`
 	// Node is the acting node ("node1", …); empty for host events. For
 	// sample events it is the sampler's node label.
@@ -42,12 +44,14 @@ type LogRecord struct {
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
 	// Metric and Value carry sample events (battery_soc, port_pending,
-	// …); Value doubles as the seconds figure of latency events.
+	// …); Value doubles as the seconds figure of latency events and the
+	// observed quantity of violation events.
 	Metric string  `json:"metric,omitempty"`
 	Value  float64 `json:"value,omitempty"`
 	// Kind, KB and DurS describe a link event's transaction: message
 	// kind, payload size and wire time (startup included). Kind also
-	// tags fault and retry events with the affected message kind.
+	// tags fault and retry events with the affected message kind and
+	// violation events with the assertion's operator type.
 	Kind string  `json:"kind,omitempty"`
 	KB   float64 `json:"kb,omitempty"`
 	DurS float64 `json:"dur_s,omitempty"`
@@ -64,10 +68,17 @@ type LogRecord struct {
 	Queue int `json:"queue,omitempty"`
 	// Ctl carries a govern event's controller terms (governor.Terms).
 	Ctl []float64 `json:"ctl,omitempty"`
+	// Assert names a violation event's failed invariant; Detail is its
+	// deterministic account and Bound the limit the observed Value
+	// broke (see internal/assert).
+	Assert string  `json:"assert,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+	Bound  float64 `json:"bound,omitempty"`
 }
 
 // eventRank orders event kinds at equal timestamps, so logs are
-// byte-identical across runs regardless of collection order.
+// byte-identical across runs regardless of collection order. The full
+// vocabulary and the ordering contract are documented in DESIGN.md §6.
 func eventRank(event string) int {
 	switch event {
 	case "mode":
@@ -88,8 +99,10 @@ func eventRank(event string) int {
 		return 7
 	case "sample":
 		return 8
-	default:
+	case "violation":
 		return 9
+	default:
+		return 10
 	}
 }
 
@@ -119,7 +132,171 @@ func lessRecord(a, b LogRecord) bool {
 	if a.Frame != b.Frame {
 		return a.Frame < b.Frame
 	}
-	return a.Attempt < b.Attempt
+	if a.Attempt != b.Attempt {
+		return a.Attempt < b.Attempt
+	}
+	return a.Assert < b.Assert
+}
+
+// recorder gathers a rig's observable events as LogRecords. hooks must
+// be installed before buildPipeline (they ride in pipelineOpts), attach
+// after it; collect finalizes the stream in deterministic order. It is
+// the shared substrate of RunLogged/RunTelemetry and assertion-checked
+// runs.
+type recorder struct {
+	records   []LogRecord
+	telemetry bool
+}
+
+// hooks chains the pre-build observers into opts, preserving any the
+// caller installed.
+func (rc *recorder) hooks(opts *pipelineOpts) {
+	prevGov := opts.onGovern
+	opts.onGovern = func(nodeName string, ev governor.Event) {
+		if prevGov != nil {
+			prevGov(nodeName, ev)
+		}
+		rc.records = append(rc.records, LogRecord{
+			T: ev.Obs.NowS, Event: "govern", Node: nodeName,
+			Frame: ev.Frame, FromMHz: ev.From.FreqMHz, MHz: ev.To.FreqMHz,
+			Value: ev.Obs.SlackS, Queue: ev.Obs.QueueIn,
+			Ctl: []float64{ev.Terms[0], ev.Terms[1], ev.Terms[2]},
+		})
+	}
+	if rc.telemetry {
+		prevTransfer := opts.onTransfer
+		opts.onTransfer = func(ev serial.TransferEvent) {
+			if prevTransfer != nil {
+				prevTransfer(ev)
+			}
+			rc.records = append(rc.records, LogRecord{
+				T: float64(ev.T), Event: "link",
+				From: ev.From, To: ev.To,
+				Kind: ev.Kind.String(), KB: ev.KB, DurS: ev.DurS,
+			})
+		}
+	}
+}
+
+// attach chains the post-build observers onto the rig. The host's
+// OnResult set by buildPipeline (stall clock, caller callback) keeps
+// running first.
+func (rc *recorder) attach(rig *Rig) {
+	if rc.telemetry {
+		if rig.Injector != nil {
+			rig.Injector.OnFault = func(ev fault.Event) {
+				rc.records = append(rc.records, LogRecord{
+					T: float64(ev.T), Event: "fault", Fault: ev.Kind,
+					Node: ev.Node, From: ev.From, To: ev.To,
+					Kind: ev.MsgKind, Frame: ev.Frame,
+				})
+			}
+		}
+		rig.Net.OnRetry = func(ev serial.RetryEvent) {
+			rc.records = append(rc.records, LogRecord{
+				T: float64(ev.T), Event: "retry",
+				From: ev.From, To: ev.To,
+				Kind: ev.Kind.String(), Frame: ev.Frame,
+				Attempt: ev.Attempt, Value: ev.BackoffS,
+				Fault: ev.Cause.String(),
+			})
+		}
+	}
+	prevResult := rig.Host.OnResult
+	host0 := rig.Host
+	rig.Host.OnResult = func(r host.Result) {
+		if prevResult != nil {
+			prevResult(r)
+		}
+		rc.records = append(rc.records, LogRecord{
+			T: float64(r.At), Event: "result", Frame: r.Frame, From: r.From,
+		})
+		if rc.telemetry {
+			rc.records = append(rc.records, LogRecord{
+				T: float64(r.At), Event: "latency", Frame: r.Frame,
+				From: r.From, Value: host0.Latency(r),
+			})
+		}
+	}
+}
+
+// collect finalizes the record stream after the run: node mode traces
+// and deaths, the sampler series, then the canonical sort.
+func (rc *recorder) collect(rig *Rig) []LogRecord {
+	for _, n := range rig.Nodes {
+		n.Power().Finish()
+		for _, span := range n.Power().Trace() {
+			rc.records = append(rc.records, LogRecord{
+				T:     float64(span.Start),
+				End:   float64(span.End),
+				Event: "mode",
+				Node:  n.Name,
+				Mode:  span.Mode.String(),
+				MHz:   span.Op.FreqMHz,
+			})
+		}
+		if n.DeadAt > 0 {
+			rc.records = append(rc.records, LogRecord{
+				T: float64(n.DeadAt), Event: "death", Node: n.Name,
+			})
+		}
+	}
+	if rc.telemetry && rig.Metrics != nil {
+		for _, s := range rig.Metrics.Snapshot().Series {
+			for _, pt := range s.Samples {
+				rc.records = append(rc.records, LogRecord{
+					T: float64(pt.T), Event: "sample",
+					Node: s.Node, Metric: s.Name, Value: pt.V,
+				})
+			}
+		}
+	}
+	sort.SliceStable(rc.records, func(i, j int) bool { return lessRecord(rc.records[i], rc.records[j]) })
+	return rc.records
+}
+
+// recordView converts a LogRecord to the assertion engine's mirrored
+// view; field order follows the struct.
+func recordView(r LogRecord) assert.Record {
+	return assert.Record{
+		T: r.T, Event: r.Event, Node: r.Node,
+		Mode: r.Mode, MHz: r.MHz, End: r.End,
+		Frame: r.Frame, From: r.From, To: r.To,
+		Metric: r.Metric, Value: r.Value,
+		Kind: r.Kind, KB: r.KB, DurS: r.DurS,
+		Fault: r.Fault, Attempt: r.Attempt,
+		FromMHz: r.FromMHz, Queue: r.Queue, Ctl: r.Ctl,
+		Assert: r.Assert, Detail: r.Detail, Bound: r.Bound,
+	}
+}
+
+// evalAssertions streams the sorted records through the engine and
+// closes it at the last record's timestamp — the same end-of-stream
+// rule Replay applies offline, which is what makes online and offline
+// verdicts identical.
+func evalAssertions(eng *assert.Engine, records []LogRecord) []assert.Violation {
+	for _, r := range records {
+		eng.Observe(recordView(r))
+	}
+	var endT float64
+	if n := len(records); n > 0 {
+		endT = records[n-1].T
+	}
+	eng.Finish(endT)
+	return eng.Violations()
+}
+
+// violationRecords renders violations as telemetry events.
+func violationRecords(vio []assert.Violation) []LogRecord {
+	out := make([]LogRecord, len(vio))
+	for i, v := range vio {
+		out[i] = LogRecord{
+			T: v.T, Event: "violation", Node: v.Node, Frame: v.Frame,
+			Kind: v.Type, Assert: v.Assertion, Value: v.Value,
+			Bound: v.Bound, Detail: v.Detail,
+		}
+	}
+	return out
 }
 
 // RunLogged simulates the first `until` seconds of an experiment with
@@ -133,10 +310,11 @@ func RunLogged(id ID, p Params, until float64, w io.Writer) (int, error) {
 // top of the mode/result/death events it logs every serial transaction
 // ("link"), each result's end-to-end frame latency ("latency"), the
 // periodic sampler series ("sample": battery state of charge and
-// availability, port backlogs, kernel queue depth) and — when a fault
+// availability, port backlogs, kernel queue depth), — when a fault
 // scenario is active — every injected fault ("fault") and scheduled
-// retransmission ("retry"). Only the pipeline experiments (1…2D) can be
-// logged.
+// retransmission ("retry"), and — when Params.Assertions is set —
+// every assertion violation ("violation"). Only the pipeline
+// experiments (1…2D) can be logged.
 func RunTelemetry(id ID, p Params, until float64, w io.Writer) (int, error) {
 	return writeRunLog(id, p, until, w, true)
 }
@@ -166,100 +344,29 @@ func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord,
 	default:
 		return nil, fmt.Errorf("core: experiment %q cannot be event-logged (pipeline experiments 1…2D only)", id)
 	}
+	eng, err := assert.New(p.Assertions)
+	if err != nil {
+		return nil, err
+	}
 	stages, opts := stagesFor(id, p)
 	opts.trace = true
 	opts.instrument = telemetry
 	if p.Faults != nil {
 		opts.faults = p.Faults
 	}
-
-	var records []LogRecord
-	if p.Governor.Enabled() {
-		opts.onGovern = func(nodeName string, ev governor.Event) {
-			records = append(records, LogRecord{
-				T: ev.Obs.NowS, Event: "govern", Node: nodeName,
-				Frame: ev.Frame, FromMHz: ev.From.FreqMHz, MHz: ev.To.FreqMHz,
-				Value: ev.Obs.SlackS, Queue: ev.Obs.QueueIn,
-				Ctl: []float64{ev.Terms[0], ev.Terms[1], ev.Terms[2]},
-			})
-		}
-	}
-	if telemetry {
-		opts.onTransfer = func(ev serial.TransferEvent) {
-			records = append(records, LogRecord{
-				T: float64(ev.T), Event: "link",
-				From: ev.From, To: ev.To,
-				Kind: ev.Kind.String(), KB: ev.KB, DurS: ev.DurS,
-			})
-		}
-	}
+	rc := &recorder{telemetry: telemetry}
+	rc.hooks(&opts)
 	rig := buildPipeline(p, stages, opts)
-	if telemetry {
-		if rig.Injector != nil {
-			rig.Injector.OnFault = func(ev fault.Event) {
-				records = append(records, LogRecord{
-					T: float64(ev.T), Event: "fault", Fault: ev.Kind,
-					Node: ev.Node, From: ev.From, To: ev.To,
-					Kind: ev.MsgKind, Frame: ev.Frame,
-				})
-			}
-		}
-		rig.Net.OnRetry = func(ev serial.RetryEvent) {
-			records = append(records, LogRecord{
-				T: float64(ev.T), Event: "retry",
-				From: ev.From, To: ev.To,
-				Kind: ev.Kind.String(), Frame: ev.Frame,
-				Attempt: ev.Attempt, Value: ev.BackoffS,
-				Fault: ev.Cause.String(),
-			})
-		}
-	}
-
-	rig.Host.OnResult = func(r host.Result) {
-		rig.lastResult = rig.K.Now()
-		records = append(records, LogRecord{
-			T: float64(r.At), Event: "result", Frame: r.Frame, From: r.From,
-		})
-		if telemetry {
-			records = append(records, LogRecord{
-				T: float64(r.At), Event: "latency", Frame: r.Frame,
-				From: r.From, Value: rig.Host.Latency(r),
-			})
-		}
-	}
+	rc.attach(rig)
 	rig.Start()
 	rig.K.RunUntil(sim.Time(until))
-
-	for _, n := range rig.Nodes {
-		n.Power().Finish()
-		for _, span := range n.Power().Trace() {
-			records = append(records, LogRecord{
-				T:     float64(span.Start),
-				End:   float64(span.End),
-				Event: "mode",
-				Node:  n.Name,
-				Mode:  span.Mode.String(),
-				MHz:   span.Op.FreqMHz,
-			})
-		}
-		if n.DeadAt > 0 {
-			records = append(records, LogRecord{
-				T: float64(n.DeadAt), Event: "death", Node: n.Name,
-			})
-		}
-	}
-	if telemetry {
-		for _, s := range rig.Metrics.Snapshot().Series {
-			for _, pt := range s.Samples {
-				records = append(records, LogRecord{
-					T: float64(pt.T), Event: "sample",
-					Node: s.Node, Metric: s.Name, Value: pt.V,
-				})
-			}
-		}
-	}
+	records := rc.collect(rig)
 	rig.K.Stop()
 
-	sort.SliceStable(records, func(i, j int) bool { return lessRecord(records[i], records[j]) })
+	if eng != nil {
+		vio := evalAssertions(eng, records)
+		records = append(records, violationRecords(vio)...)
+		sort.SliceStable(records, func(i, j int) bool { return lessRecord(records[i], records[j]) })
+	}
 	return records, nil
 }

@@ -37,6 +37,23 @@ func emitSorted(m map[string]int) {
 	}
 }
 
+// emitAllowed mirrors assert.(*Engine).Summary: rendering into a
+// reused builder inside the range is order-dependent output, but the
+// rows are sorted before they are joined, so the directive suppresses
+// the finding. No want comment — the allow must actually work.
+func emitAllowed(m map[string]int) string {
+	rows := make([]string, 0, len(m))
+	var b strings.Builder
+	for k, v := range m {
+		b.Reset()
+		//lint:allow maprange rows are sorted before being joined, so iteration order never reaches the output
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		rows = append(rows, b.String())
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
 // transform mutates data inside a map range without emitting: order
 // does not matter, so it is not flagged.
 func transform(m map[string]int) map[string]int {

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"dvsim/internal/assert"
+)
+
+// Assertion-verdict exporters: the CSV is the CI artifact a failed
+// assert job uploads, the table the human-facing account. Violations
+// arrive in the engine's canonical (time, assertion, node, frame)
+// order and are rendered as-is, so output is deterministic.
+
+// ViolationsCSV renders assertion violations as CSV, one row per
+// violation.
+func ViolationsCSV(vs []assert.Violation) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write([]string{"t", "assert", "type", "node", "frame", "value", "bound", "detail"})
+	for _, v := range vs {
+		_ = w.Write([]string{
+			fmt.Sprintf("%g", v.T),
+			v.Assertion,
+			v.Type,
+			v.Node,
+			fmt.Sprint(v.Frame),
+			fmt.Sprintf("%g", v.Value),
+			fmt.Sprintf("%g", v.Bound),
+			v.Detail,
+		})
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ViolationsTable renders the verdict of one checked stream: the
+// catalog name, how many invariants were evaluated, and — on failure —
+// one row per recorded violation plus the total (which can exceed the
+// rows when an assertion hit its per-assertion cap).
+func ViolationsTable(catalog string, evaluated, total int, vs []assert.Violation) string {
+	name := catalog
+	if name == "" {
+		name = "assertions"
+	}
+	var b strings.Builder
+	if total == 0 {
+		fmt.Fprintf(&b, "%s: %d assertion(s) hold\n", name, evaluated)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s: %d violation(s) across %d assertion(s)\n", name, total, evaluated)
+	fmt.Fprintf(&b, "%12s  %-24s %-9s %-8s %6s  %s\n", "t (s)", "assertion", "type", "node", "frame", "detail")
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%12.3f  %-24s %-9s %-8s %6d  %s\n",
+			v.T, v.Assertion, v.Type, v.Node, v.Frame, v.Detail)
+	}
+	if total > len(vs) {
+		fmt.Fprintf(&b, "… %d further violation(s) truncated (cap %d per assertion)\n",
+			total-len(vs), assert.MaxViolationsPerAssertion)
+	}
+	return b.String()
+}

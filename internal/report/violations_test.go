@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dvsim/internal/assert"
+)
+
+var sampleViolations = []assert.Violation{
+	{T: 12.5, Assertion: "frame-deadline", Type: "bound", Node: "", Frame: 5,
+		Value: 2.4, Bound: 2.3, Detail: "value = 2.4 above max 2.3"},
+	{T: 60, Assertion: "soc-monotone", Type: "monotone", Node: "node2", Frame: 0,
+		Value: 0.9, Bound: 0.8, Detail: "value rose 0.8 -> 0.9 (nonincreasing)"},
+}
+
+func TestViolationsCSV(t *testing.T) {
+	got := ViolationsCSV(sampleViolations)
+	want := "t,assert,type,node,frame,value,bound,detail\n" +
+		"12.5,frame-deadline,bound,,5,2.4,2.3,value = 2.4 above max 2.3\n" +
+		"60,soc-monotone,monotone,node2,0,0.9,0.8,value rose 0.8 -> 0.9 (nonincreasing)\n"
+	if got != want {
+		t.Fatalf("CSV mismatch:\n got %q\nwant %q", got, want)
+	}
+	if ViolationsCSV(nil) != "t,assert,type,node,frame,value,bound,detail\n" {
+		t.Fatal("empty CSV must still carry the header")
+	}
+}
+
+func TestViolationsTable(t *testing.T) {
+	clean := ViolationsTable("catalog", 10, 0, nil)
+	if !strings.Contains(clean, "catalog: 10 assertion(s) hold") {
+		t.Fatalf("bad clean verdict %q", clean)
+	}
+	failed := ViolationsTable("", 10, 250, sampleViolations)
+	for _, want := range []string{
+		"assertions: 250 violation(s) across 10 assertion(s)",
+		"frame-deadline",
+		"soc-monotone",
+		"248 further violation(s) truncated",
+	} {
+		if !strings.Contains(failed, want) {
+			t.Fatalf("table missing %q:\n%s", want, failed)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	dvsim -exp 3A [-frames N]             # governor study: all four policies head to head
 //	dvsim -exp 1 -assert spec.json        # check an assertion catalog online during the run
 //	dvsim -check log.jsonl -assert spec.json   # replay a recorded telemetry log offline
+//	dvsim -manifest sweep.toml [-j N] [-agg-jsonl FILE]   # run a declarative sweep (see MANIFESTS.md)
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"dvsim/internal/core"
 	"dvsim/internal/fault"
 	"dvsim/internal/governor"
+	"dvsim/internal/manifest"
 	"dvsim/internal/report"
 )
 
@@ -134,6 +136,9 @@ func main() {
 	assertFile := flag.String("assert", "", "load a JSON assertion spec (see scenarios/assertions/) and check it against the run's telemetry stream; with -check, against a recorded log")
 	checkFile := flag.String("check", "", "replay a recorded telemetry JSONL FILE through the -assert spec and report the verdict (offline; no simulation)")
 	violationsFile := flag.String("violations", "", "write assertion violations as CSV to FILE (header-only when every invariant holds)")
+	manifestFile := flag.String("manifest", "", "run a declarative experiment manifest (see MANIFESTS.md and scenarios/manifests/): expand every line into a sweep, run it all-core, aggregate one row per run")
+	aggCSV := flag.String("agg-csv", "", "with -manifest: write the aggregated CSV to FILE instead of stdout")
+	aggJSONL := flag.String("agg-jsonl", "", "with -manifest: also write the aggregated sweep as JSON Lines to FILE")
 	paramsFile := flag.String("params", "", "load a JSON platform config instead of the calibrated Itsy defaults")
 	dump := flag.Bool("dumpparams", false, "write the default platform config as JSON and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -186,6 +191,43 @@ func main() {
 		if err := core.SavePlatform(os.Stdout, core.DefaultPlatformConfig()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *manifestFile != "" {
+		m, err := manifest.LoadFile(*manifestFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvsim: -manifest: %v\n", err)
+			os.Exit(2)
+		}
+		exps, err := m.Expand()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvsim: -manifest: %s: %v\n", *manifestFile, err)
+			os.Exit(2)
+		}
+		nodes := 0
+		for _, e := range exps {
+			nodes += e.Nodes
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d experiment(s) over %d simulated node(s)\n", *manifestFile, len(exps), nodes)
+		results := manifest.RunAll(exps, *workers)
+		table := manifest.CSV(results)
+		if *aggCSV != "" {
+			f := mustCreate("agg-csv", *aggCSV)
+			io.WriteString(f, table)
+			f.Close()
+		} else {
+			fmt.Print(table)
+		}
+		if *aggJSONL != "" {
+			f := mustCreate("agg-jsonl", *aggJSONL)
+			err := manifest.WriteJSONL(f, results)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvsim: -agg-jsonl: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

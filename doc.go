@@ -8,11 +8,17 @@
 // and node rotation. Beyond the paper, a deterministic fault-injection
 // engine (internal/fault, scenarios/) subjects the recovery machinery to
 // seeded link faults, node crashes and battery variance, recovered by
-// bounded serial retransmission and workload migration (experiment 2D).
+// bounded serial retransmission and workload migration (experiment 2D);
+// arbitrary-topology fleets (internal/topology: serial chains, wide
+// pipelines, aggregation trees, sensor meshes) run through the same
+// engine; and declarative manifest runfiles (internal/manifest,
+// dvsim -manifest) expand into whole experiment sweeps with derived
+// per-line seeds and byte-deterministic aggregation.
 //
 // The library lives under internal/ (sim, cpu, battery, serial, atr,
-// node, host, core, fault, metrics, sched, report); executables under
-// cmd/ (dvsim, paperbench, calibrate, atr); runnable examples under
-// examples/. The benchmarks in this directory regenerate every table and
-// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+// node, host, core, topology, manifest, fault, metrics, sched, report);
+// executables under cmd/ (dvsim, paperbench, calibrate, atr); runnable
+// examples under examples/. The benchmarks in this directory regenerate
+// every table and figure of the paper's evaluation; see DESIGN.md,
+// EXPERIMENTS.md and MANIFESTS.md.
 package dvsim

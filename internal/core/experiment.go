@@ -197,11 +197,15 @@ type PortStat struct {
 }
 
 // stageSetup is the per-node configuration an experiment derives.
+// refS/outKB, when positive, override the profile-driven work model
+// (see node.Role); the paper's experiments leave them zero.
 type stageSetup struct {
 	span    atr.Span
 	compute cpu.OperatingPoint
 	comm    cpu.OperatingPoint
 	idle    cpu.OperatingPoint
+	refS    float64
+	outKB   float64
 }
 
 // Run executes one experiment and returns its outcome. Runs are
@@ -255,44 +259,44 @@ func stagesFor(id ID, p Params) ([]stageSetup, pipelineOpts) {
 	switch id {
 	case Exp1:
 		return []stageSetup{
-			{atr.FullSpan, cpu.MaxPoint, cpu.MaxPoint, cpu.OperatingPoint{}},
+			{span: atr.FullSpan, compute: cpu.MaxPoint, comm: cpu.MaxPoint},
 		}, pipelineOpts{}
 	case Exp1A:
 		return []stageSetup{
-			{atr.FullSpan, cpu.MaxPoint, cpu.MinPoint, cpu.OperatingPoint{}},
+			{span: atr.FullSpan, compute: cpu.MaxPoint, comm: cpu.MinPoint},
 		}, pipelineOpts{}
 	case Exp2:
 		s := mustBest(p)
 		return []stageSetup{
-			{s.Stages[0].Span, s.Stages[0].Compute, s.Stages[0].Compute, cpu.OperatingPoint{}},
-			{s.Stages[1].Span, s.Stages[1].Compute, s.Stages[1].Compute, cpu.OperatingPoint{}},
+			{span: s.Stages[0].Span, compute: s.Stages[0].Compute, comm: s.Stages[0].Compute},
+			{span: s.Stages[1].Span, compute: s.Stages[1].Compute, comm: s.Stages[1].Compute},
 		}, pipelineOpts{}
 	case Exp2A:
 		s := mustBest(p)
 		return []stageSetup{
-			{s.Stages[0].Span, s.Stages[0].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
-			{s.Stages[1].Span, s.Stages[1].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
+			{span: s.Stages[0].Span, compute: s.Stages[0].Compute, comm: cpu.MinPoint},
+			{span: s.Stages[1].Span, compute: s.Stages[1].Compute, comm: cpu.MinPoint},
 		}, pipelineOpts{}
 	case Exp2B:
 		// §6.6: with the recovery protocol's extra transactions both
 		// nodes run faster — the paper operates them at 73.7 and 118 MHz
 		// — and DVS during I/O stays on.
 		return []stageSetup{
-			{mustSpan(p, 0), cpu.PointAt(73.7), cpu.MinPoint, cpu.OperatingPoint{}},
-			{mustSpan(p, 1), cpu.PointAt(118.0), cpu.MinPoint, cpu.OperatingPoint{}},
+			{span: mustSpan(p, 0), compute: cpu.PointAt(73.7), comm: cpu.MinPoint},
+			{span: mustSpan(p, 1), compute: cpu.PointAt(118.0), comm: cpu.MinPoint},
 		}, pipelineOpts{ack: true}
 	case Exp2C:
 		s := mustBest(p)
 		return []stageSetup{
-			{s.Stages[0].Span, s.Stages[0].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
-			{s.Stages[1].Span, s.Stages[1].Compute, cpu.MinPoint, cpu.OperatingPoint{}},
+			{span: s.Stages[0].Span, compute: s.Stages[0].Compute, comm: cpu.MinPoint},
+			{span: s.Stages[1].Span, compute: s.Stages[1].Compute, comm: cpu.MinPoint},
 		}, pipelineOpts{rotation: p.RotationPeriod}
 	case Exp2D:
 		// The 2B recovery configuration with the wire made hostile:
 		// seeded link faults, recovered by bounded retransmission.
 		return []stageSetup{
-			{mustSpan(p, 0), cpu.PointAt(73.7), cpu.MinPoint, cpu.OperatingPoint{}},
-			{mustSpan(p, 1), cpu.PointAt(118.0), cpu.MinPoint, cpu.OperatingPoint{}},
+			{span: mustSpan(p, 0), compute: cpu.PointAt(73.7), comm: cpu.MinPoint},
+			{span: mustSpan(p, 1), compute: cpu.PointAt(118.0), comm: cpu.MinPoint},
 		}, pipelineOpts{ack: true, faults: DefaultFaultScenario()}
 	default:
 		panic(fmt.Sprintf("core: unknown experiment %q", id))
@@ -360,15 +364,19 @@ func runNoIO(id ID, p Params, at cpu.OperatingPoint, instrument bool) Outcome {
 // registerNodeSamplers tracks one node's battery dynamics and inbound
 // backlog as sim-time series.
 func registerNodeSamplers(reg *metrics.Registry, n *node.Node, period float64) {
-	pw := n.Power()
-	reg.Sample("battery_soc", n.Name, sim.Duration(period), func() float64 {
+	registerSamplers(reg, n.Name, n.Power(), n.Port(), period)
+}
+
+// registerSamplers is the node-kind-agnostic sampler set shared by
+// pipeline nodes and fleet workers.
+func registerSamplers(reg *metrics.Registry, name string, pw *node.Power, port *serial.Port, period float64) {
+	reg.Sample("battery_soc", name, sim.Duration(period), func() float64 {
 		return pw.Battery().StateOfCharge()
 	})
-	reg.Sample("battery_available", n.Name, sim.Duration(period), func() float64 {
+	reg.Sample("battery_available", name, sim.Duration(period), func() float64 {
 		return battery.Available(pw.Battery())
 	})
-	port := n.Port()
-	reg.Sample("port_pending", n.Name, sim.Duration(period), func() float64 {
+	reg.Sample("port_pending", name, sim.Duration(period), func() float64 {
 		return float64(port.Pending())
 	})
 }
@@ -510,7 +518,8 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 	}
 	roles := make([]node.Role, len(stages))
 	for i, s := range stages {
-		roles[i] = node.Role{Index: i + 1, Span: s.span, Compute: s.compute, Comm: s.comm, Idle: s.idle}
+		roles[i] = node.Role{Index: i + 1, Span: s.span, Compute: s.compute, Comm: s.comm, Idle: s.idle,
+			RefS: s.refS, OutKB: s.outKB}
 	}
 	nodes := make([]*node.Node, len(stages))
 	for i := range stages {
@@ -675,12 +684,17 @@ func runPipeline(id ID, p Params, stages []stageSetup, opts pipelineOpts) Outcom
 
 // StageConfig describes one stage of a custom pipeline: its block span
 // and the operating points for computation, communication and (optional,
-// defaulting to Comm) idle.
+// defaulting to Comm) idle. RefS and OutKB, when positive, override the
+// profile-driven work model with synthetic per-stage reference seconds
+// and output size — the hook internal/topology uses to build serial
+// chains longer than the ATR profile's four blocks.
 type StageConfig struct {
 	Span    atr.Span
 	Compute cpu.OperatingPoint
 	Comm    cpu.OperatingPoint
 	Idle    cpu.OperatingPoint
+	RefS    float64
+	OutKB   float64
 }
 
 // Options selects the distributed techniques for a custom pipeline run.
@@ -728,7 +742,8 @@ func RunCustom(label string, p Params, stages []StageConfig, opts Options) Outco
 	}
 	ss := make([]stageSetup, len(stages))
 	for i, s := range stages {
-		ss[i] = stageSetup{span: s.Span, compute: s.Compute, comm: s.Comm, idle: s.Idle}
+		ss[i] = stageSetup{span: s.Span, compute: s.Compute, comm: s.Comm, idle: s.Idle,
+			refS: s.RefS, outKB: s.OutKB}
 	}
 	faults := opts.Faults
 	if faults == nil {

@@ -30,19 +30,26 @@ func GovernorStudySpecs() []governor.Spec {
 // apart). maxFrames bounds each run (0 runs to battery exhaustion);
 // workers parallelizes across policies (≤ 0 selects GOMAXPROCS).
 func RunGovernorStudy(p Params, workers, maxFrames int) []Outcome {
-	span0, span1 := mustSpan(p, 0), mustSpan(p, 1)
 	return sweep.Run(GovernorStudySpecs(), workers, func(s governor.Spec) Outcome {
-		stages := []stageSetup{
-			{span0, cpu.MaxPoint, cpu.MinPoint, cpu.OperatingPoint{}},
-			{span1, cpu.MaxPoint, cpu.MinPoint, cpu.OperatingPoint{}},
-		}
-		out := runPipeline(Exp3A, p, stages, pipelineOpts{
-			governor:  s,
-			maxFrames: maxFrames,
-		})
-		out.Label = "Governor study: " + s.String()
-		return out
+		return RunGovernorPolicy(p, s, maxFrames)
 	})
+}
+
+// RunGovernorPolicy executes one point of the governor study: the 3A
+// pipeline (experiment-2 partition, full-clock cold start, DVS during
+// I/O) under a single online policy. It is what manifest experiment
+// lines with `experiment = "3A"` expand to, one line per policy.
+func RunGovernorPolicy(p Params, s governor.Spec, maxFrames int) Outcome {
+	stages := []stageSetup{
+		{span: mustSpan(p, 0), compute: cpu.MaxPoint, comm: cpu.MinPoint},
+		{span: mustSpan(p, 1), compute: cpu.MaxPoint, comm: cpu.MinPoint},
+	}
+	out := runPipeline(Exp3A, p, stages, pipelineOpts{
+		governor:  s,
+		maxFrames: maxFrames,
+	})
+	out.Label = "Governor study: " + s.String()
+	return out
 }
 
 // EnergyPerFrameMAh is the run's total battery charge spent per

@@ -29,6 +29,16 @@ type Role struct {
 	// zero value falls back to Comm (the paper's workloads have no idle
 	// time, so the distinction only matters for low-duty-cycle studies).
 	Idle cpu.OperatingPoint
+	// RefS, when positive, is the stage's per-frame reference compute
+	// time (seconds at the maximum operating point), overriding the
+	// profiled Span. It frees pipelines from the ATR profile's four
+	// blocks: arbitrary-length chains built by internal/topology assign
+	// synthetic per-stage work here. Zero keeps the profile-driven
+	// timing, byte for byte.
+	RefS float64
+	// OutKB, when positive, overrides the profiled output size for the
+	// stage's downstream transfer. Zero falls back to Prof.OutKB(Span).
+	OutKB float64
 }
 
 // IdlePoint returns the role's idle operating point (Comm when unset).
@@ -37,6 +47,24 @@ func (r Role) IdlePoint() cpu.OperatingPoint {
 		return r.Comm
 	}
 	return r.Idle
+}
+
+// refSeconds is the role's per-frame reference compute time: the
+// explicit override when set, the profiled span otherwise.
+func (n *Node) refSeconds(r Role) float64 {
+	if r.RefS > 0 {
+		return r.RefS
+	}
+	return n.cfg.Prof.RefSeconds(r.Span)
+}
+
+// outKB is the role's downstream transfer size: the explicit override
+// when set, the profiled span otherwise.
+func (n *Node) outKB(r Role) float64 {
+	if r.OutKB > 0 {
+		return r.OutKB
+	}
+	return n.cfg.Prof.OutKB(r.Span)
 }
 
 // Config is the pipeline-wide behavior shared by all nodes.
@@ -333,7 +361,7 @@ func (n *Node) run(p *sim.Proc) {
 			return
 		}
 		var out any
-		if !n.process(p, n.Role().Span, n.computePoint(), payload, &out) {
+		if !n.process(p, n.Role(), n.computePoint(), payload, &out) {
 			return
 		}
 		n.FramesProcessed++
@@ -477,7 +505,7 @@ func (n *Node) onSendStart() {
 func (n *Node) runNoIO(p *sim.Proc) {
 	var sink any
 	for {
-		if !n.process(p, n.Role().Span, n.Role().Compute, nil, &sink) {
+		if !n.process(p, n.Role(), n.Role().Compute, nil, &sink) {
 			return
 		}
 		n.FramesProcessed++
@@ -564,19 +592,19 @@ func (n *Node) acceptKind(m serial.Message) bool {
 	return m.Kind == serial.KindInter
 }
 
-// process runs the span's computation at the given point, applying the
+// process runs the role's computation at the given point, applying the
 // native stage function to the payload when one is configured. ok is
 // false on interruption (death).
-func (n *Node) process(p *sim.Proc, span atr.Span, at cpu.OperatingPoint, in any, out *any) bool {
+func (n *Node) process(p *sim.Proc, role Role, at cpu.OperatingPoint, in any, out *any) bool {
 	t0 := p.Now()
 	n.power.Transition(cpu.Compute, at)
-	work := cpu.ScaledTime(n.cfg.Prof.RefSeconds(span), at)
+	work := cpu.ScaledTime(n.refSeconds(role), at)
 	if err := p.Wait(sim.Duration(work)); err != nil {
 		return false
 	}
 	n.met.procS.Observe(float64(p.Now() - t0))
 	if n.cfg.Exec != nil {
-		*out = n.cfg.Exec(span, in)
+		*out = n.cfg.Exec(role.Span, in)
 	}
 	n.idle()
 	return true
@@ -594,7 +622,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 	role := n.Role()
 	if role.Index == len(n.roles) {
 		err := n.port.SendReliable(p, n.hostSink, serial.Message{
-			Kind: serial.KindResult, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload,
+			Kind: serial.KindResult, Frame: frame, KB: n.outKB(role), Payload: payload,
 		}, serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idleFn}, n.cfg.Retry)
 		n.idle()
 		if err != nil && (serial.IsFault(err) || errors.Is(err, serial.ErrRetriesExhausted)) {
@@ -603,7 +631,7 @@ func (n *Node) sendOutput(p *sim.Proc, frame int, payload any) (ok, handled bool
 		return err == nil, false
 	}
 	dst := n.ring[n.downstreamPhys()]
-	msg := serial.Message{Kind: serial.KindInter, Frame: frame, KB: n.cfg.Prof.OutKB(role.Span), Payload: payload}
+	msg := serial.Message{Kind: serial.KindInter, Frame: frame, KB: n.outKB(role), Payload: payload}
 	if !n.cfg.Ack {
 		err := n.port.SendReliable(p, dst.Port(), msg,
 			serial.TxOpts{OnStart: n.sendStart(p), OnBackoff: n.idleFn}, n.cfg.Retry)
@@ -678,9 +706,9 @@ func (n *Node) abandon() bool {
 // the surviving node. Migration is defined for two-node pipelines (the
 // paper's experiment); with everyone else dead, ok is false and the node
 // stops.
-func (n *Node) migrateFrom(p *sim.Proc, deadPhys int) (absorbed atr.Span, ok bool) {
+func (n *Node) migrateFrom(p *sim.Proc, deadPhys int) (absorbed Role, ok bool) {
 	if deadPhys == n.phys || n.peerDead[deadPhys] || len(n.ring) != 2 {
-		return atr.Span{}, false
+		return Role{}, false
 	}
 	dead := n.ring[deadPhys]
 	n.peerDead[deadPhys] = true
@@ -693,7 +721,17 @@ func (n *Node) migrateFrom(p *sim.Proc, deadPhys int) (absorbed atr.Span, ok boo
 	case myRole.Span.Last+1 == deadRole.Span.First:
 		merged = atr.Span{First: myRole.Span.First, Last: deadRole.Span.Last}
 	default:
-		return atr.Span{}, false
+		return Role{}, false
+	}
+	// Synthetic-work roles (RefS overrides) merge by summing reference
+	// times; the zero values keep profile-driven pipelines byte-stable.
+	var mergedRefS float64
+	if myRole.RefS > 0 || deadRole.RefS > 0 {
+		mergedRefS = n.refSeconds(myRole) + n.refSeconds(deadRole)
+	}
+	lastRole := myRole
+	if deadRole.Index > myRole.Index {
+		lastRole = deadRole
 	}
 	// The survivor continues in the baseline configuration — full clock
 	// for both computation and I/O. §6.6 observes that keeping the
@@ -706,12 +744,14 @@ func (n *Node) migrateFrom(p *sim.Proc, deadPhys int) (absorbed atr.Span, ok boo
 		Span:    merged,
 		Compute: cpu.MaxPoint,
 		Comm:    cpu.MaxPoint,
+		RefS:    mergedRefS,
+		OutKB:   lastRole.OutKB,
 	}}
 	n.roleIdx = 0
 	n.Migrations++
 	n.met.migrations.Inc()
 	n.governReset()
-	return deadRole.Span, true
+	return deadRole, true
 }
 
 // commStart switches to communication mode at the role's comm point; the

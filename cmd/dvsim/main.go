@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,11 +26,13 @@ import (
 	"dvsim/internal/assert"
 	"dvsim/internal/battery"
 	"dvsim/internal/bench"
+	"dvsim/internal/buildinfo"
 	"dvsim/internal/core"
 	"dvsim/internal/fault"
 	"dvsim/internal/governor"
 	"dvsim/internal/manifest"
 	"dvsim/internal/report"
+	"dvsim/internal/service"
 )
 
 // outFlag is an optional-value output flag: bare "-metrics" keeps the
@@ -115,6 +119,159 @@ func finishAssertions(spec *assert.Spec, outs []core.Outcome, violW *os.File, st
 	}
 }
 
+// flagConflicts lists pairs of flags that select contradictory modes.
+// -manifest runs a self-contained sweep (its runfile owns platform,
+// governor, faults and assertions), -check replays a recorded log with
+// no simulation, -plan searches configurations, -dumpparams only
+// prints, and -remote ships the run to a server that does not see
+// local profile or report destinations.
+var flagConflicts = [][2]string{
+	{"manifest", "exp"}, {"manifest", "run"}, {"manifest", "compare"},
+	{"manifest", "telemetry"}, {"manifest", "check"}, {"manifest", "plan"},
+	{"manifest", "runlog"}, {"manifest", "governor"}, {"manifest", "faults"},
+	{"manifest", "assert"}, {"manifest", "params"}, {"manifest", "rotation"},
+	{"manifest", "battery"}, {"manifest", "metrics"}, {"manifest", "ports"},
+	{"manifest", "csv"}, {"manifest", "frames"}, {"manifest", "until"},
+	{"check", "exp"}, {"check", "run"}, {"check", "telemetry"},
+	{"check", "runlog"}, {"check", "plan"}, {"check", "faults"},
+	{"check", "governor"}, {"check", "params"}, {"check", "metrics"},
+	{"check", "ports"}, {"check", "compare"}, {"check", "frames"},
+	{"plan", "exp"}, {"plan", "run"}, {"plan", "telemetry"},
+	{"plan", "runlog"}, {"plan", "compare"}, {"plan", "csv"},
+	{"runlog", "telemetry"}, {"compare", "csv"},
+	{"dumpparams", "exp"}, {"dumpparams", "run"}, {"dumpparams", "manifest"},
+	{"dumpparams", "check"}, {"dumpparams", "plan"}, {"dumpparams", "telemetry"},
+	{"remote", "check"}, {"remote", "plan"}, {"remote", "runlog"},
+	{"remote", "metrics"}, {"remote", "ports"}, {"remote", "compare"},
+	{"remote", "dumpparams"}, {"remote", "battery"}, {"remote", "csv"},
+	{"remote", "violations"}, {"remote", "cpuprofile"}, {"remote", "memprofile"},
+	{"remote", "trace"}, {"remote", "j"}, {"remote", "agg-jsonl"},
+}
+
+// rejectConflictingFlags fails fast (exit 2) when explicitly set flags
+// contradict each other, before any output file is created or any
+// simulation starts.
+func rejectConflictingFlags() {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, pair := range flagConflicts {
+		if set[pair[0]] && set[pair[1]] {
+			fmt.Fprintf(os.Stderr, "dvsim: -%s and -%s are mutually exclusive\n", pair[0], pair[1])
+			os.Exit(2)
+		}
+	}
+}
+
+// remoteRun is a dvsim invocation shipped to a dvsimd server.
+type remoteRun struct {
+	base       string
+	exp        string
+	untilS     float64
+	manifest   string
+	aggCSV     string
+	rotation   int
+	governor   string
+	faultsFile string
+	assertSpec *assert.Spec
+	paramsFile string
+	telemetryW io.Writer
+	close      func()
+}
+
+// runRemote builds a Submission from the local flags — scenario files
+// and platform configs are loaded here and inlined, so the server
+// needs no access to the client's filesystem — and streams the
+// artifact as the server produces it. Identical submissions replay
+// from the server's cache; the stderr summary says which happened.
+func runRemote(r remoteRun) {
+	sub := service.Submission{
+		Experiment: r.exp,
+		UntilS:     r.untilS,
+		Rotation:   r.rotation,
+		Governor:   r.governor,
+	}
+	out := r.telemetryW
+	done := r.close
+	switch {
+	case r.manifest != "":
+		text, err := os.ReadFile(r.manifest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvsim: -manifest: %v\n", err)
+			os.Exit(2)
+		}
+		sub.Manifest = string(text)
+		if r.aggCSV != "" {
+			f := mustCreate("agg-csv", r.aggCSV)
+			out, done = f, func() { f.Close() }
+		} else {
+			out, done = os.Stdout, func() {}
+		}
+	case r.exp != "":
+		if out == nil {
+			out, done = os.Stdout, func() {}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "dvsim: -remote needs -exp/-run or -manifest to know what to submit")
+		os.Exit(2)
+	}
+	if r.faultsFile != "" {
+		sc, err := fault.LoadFile(r.faultsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		b, err := json.Marshal(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sub.Faults = b
+	}
+	if r.assertSpec != nil {
+		b, err := json.Marshal(r.assertSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sub.Assert = b
+	}
+	if r.paramsFile != "" {
+		f, err := os.Open(r.paramsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pc, err := core.LoadPlatformConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sub.Platform = &pc
+	}
+
+	client := &service.Client{Base: r.base}
+	info, err := client.Submit(context.Background(), sub, out)
+	done()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvsim: -remote: %v\n", err)
+		os.Exit(1)
+	}
+	what := "exp " + r.exp
+	if sub.Manifest != "" {
+		what = "manifest " + r.manifest
+	}
+	fmt.Fprintf(os.Stderr, "remote %s: cache %s, %d byte(s) (key %.12s)\n",
+		what, info.Cache, info.Bytes, info.Key)
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
 func main() {
 	expFlag := flag.String("exp", "", "single experiment to run (0A, 0B, 1, 1A, 2, 2A, 2B, 2C, 2D)")
 	runFlag := flag.String("run", "", "alias for -exp")
@@ -144,7 +301,15 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to FILE")
+	remote := flag.String("remote", "", "submit the run to a dvsimd server at URL instead of simulating locally (with -exp/-run or -manifest); identical submissions replay from the server's content-addressed cache")
+	version := flag.Bool("version", false, "print the engine/build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	rejectConflictingFlags()
 
 	// Resolve every output destination and spec up front: a bad path or
 	// spec must abort here, naming its flag, not after the simulation
@@ -192,6 +357,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *remote != "" {
+		runRemote(remoteRun{
+			base:       *remote,
+			exp:        firstNonEmpty(*expFlag, *runFlag),
+			untilS:     *until,
+			manifest:   *manifestFile,
+			aggCSV:     *aggCSV,
+			rotation:   *rotation,
+			governor:   *governorFlag,
+			faultsFile: *faultsFile,
+			assertSpec: spec,
+			paramsFile: *paramsFile,
+			telemetryW: telemetryW,
+			close:      telemetryClose,
+		})
 		return
 	}
 

@@ -1,0 +1,63 @@
+// Package buildinfo identifies the simulation engine build. The engine
+// version is a first-class simulation input: the content-addressed run
+// cache in internal/service keys every result on it, so a build whose
+// simulated behavior differs can never serve another build's bytes.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// EngineVersion names the simulation-semantics generation. Bump it
+// whenever a change alters what a run produces — event ordering, power
+// math, telemetry vocabulary, governor decisions — even when every
+// config keeps parsing. Cached results keyed on the old generation then
+// miss instead of replaying stale bytes. Pure refactors and serving-
+// layer changes do not bump it: they keep runs byte-identical, and the
+// telemetry goldens under internal/core/testdata prove it.
+const EngineVersion = "dvsim-engine/1"
+
+// Version returns the full engine identity: EngineVersion, the Go
+// toolchain, and — when the binary was built from a stamped checkout —
+// the VCS revision with a +dirty marker for modified trees. Two
+// binaries reporting the same Version are interchangeable as cache-key
+// components.
+var Version = sync.OnceValue(func() string {
+	v := EngineVersion + " " + runtime.Version()
+	if rev := Revision(); rev != "" {
+		v += " " + rev
+	}
+	return v
+})
+
+// Revision returns the VCS revision the binary was built at ("" when
+// the build was not stamped, e.g. under `go test` or outside a
+// checkout). Modified trees carry a "+dirty" suffix: their behavior is
+// not reproducible from the revision alone, so their cache entries
+// must not collide with the clean build's.
+var Revision = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+})

@@ -1,0 +1,31 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionCarriesEngineGeneration(t *testing.T) {
+	v := Version()
+	if !strings.HasPrefix(v, EngineVersion+" ") {
+		t.Fatalf("Version() = %q, want prefix %q", v, EngineVersion+" ")
+	}
+	if !strings.Contains(v, "go1") {
+		t.Fatalf("Version() = %q, want the Go toolchain identity", v)
+	}
+}
+
+func TestVersionIsStable(t *testing.T) {
+	// The cache keys on Version(); it must not drift within a process.
+	if a, b := Version(), Version(); a != b {
+		t.Fatalf("Version() unstable: %q then %q", a, b)
+	}
+}
+
+func TestEngineVersionShape(t *testing.T) {
+	// The generation string lands in canonical JSON key material;
+	// keep it single-token so key documents stay readable.
+	if strings.ContainsAny(EngineVersion, " \t\n\"") {
+		t.Fatalf("EngineVersion %q must be a single unquoted token", EngineVersion)
+	}
+}

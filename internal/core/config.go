@@ -144,13 +144,25 @@ func (pc PlatformConfig) Params() (Params, error) {
 	}, nil
 }
 
-// LoadPlatform reads a JSON platform config and converts it.
-func LoadPlatform(r io.Reader) (Params, error) {
+// LoadPlatformConfig reads a JSON platform config without converting
+// it, for callers that need the serializable form itself — the
+// manifest layer and the simulation service key their content-
+// addressed run cache on it.
+func LoadPlatformConfig(r io.Reader) (PlatformConfig, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var pc PlatformConfig
 	if err := dec.Decode(&pc); err != nil {
-		return Params{}, fmt.Errorf("core: parsing platform config: %w", err)
+		return PlatformConfig{}, fmt.Errorf("core: parsing platform config: %w", err)
+	}
+	return pc, nil
+}
+
+// LoadPlatform reads a JSON platform config and converts it.
+func LoadPlatform(r io.Reader) (Params, error) {
+	pc, err := LoadPlatformConfig(r)
+	if err != nil {
+		return Params{}, err
 	}
 	return pc.Params()
 }

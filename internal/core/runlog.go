@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -303,7 +304,7 @@ func violationRecords(vio []assert.Violation) []LogRecord {
 // tracing enabled and writes one JSON record per event to w, ordered by
 // (time, event kind, labels). It returns the number of records written.
 func RunLogged(id ID, p Params, until float64, w io.Writer) (int, error) {
-	return writeRunLog(id, p, until, w, false)
+	return writeRunLog(context.Background(), id, p, until, w, false)
 }
 
 // RunTelemetry is RunLogged with the telemetry subsystem attached: on
@@ -316,11 +317,23 @@ func RunLogged(id ID, p Params, until float64, w io.Writer) (int, error) {
 // every assertion violation ("violation"). Only the pipeline
 // experiments (1…2D) can be logged.
 func RunTelemetry(id ID, p Params, until float64, w io.Writer) (int, error) {
-	return writeRunLog(id, p, until, w, true)
+	return writeRunLog(context.Background(), id, p, until, w, true)
 }
 
-func writeRunLog(id ID, p Params, until float64, w io.Writer, telemetry bool) (int, error) {
-	records, err := collectRunLog(id, p, until, telemetry)
+// RunTelemetryContext is RunTelemetry with a cancellable run entry: the
+// context is polled every few thousand kernel events (via
+// sim.Kernel.SetCancelCheck, so the poll perturbs neither event
+// ordering nor telemetry bytes) and an expired context abandons the
+// simulation mid-flight, returning the context's error with nothing
+// written to w. It is the entry the simulation service uses to stop
+// in-flight runs when a client hangs up or the server drains for
+// shutdown; an uncancelled run is byte-identical to RunTelemetry.
+func RunTelemetryContext(ctx context.Context, id ID, p Params, until float64, w io.Writer) (int, error) {
+	return writeRunLog(ctx, id, p, until, w, true)
+}
+
+func writeRunLog(ctx context.Context, id ID, p Params, until float64, w io.Writer, telemetry bool) (int, error) {
+	records, err := collectRunLogContext(ctx, id, p, until, telemetry)
 	if err != nil {
 		return 0, err
 	}
@@ -336,6 +349,16 @@ func writeRunLog(id ID, p Params, until float64, w io.Writer, telemetry bool) (i
 // collectRunLog runs the bounded window and gathers the records in
 // deterministic order.
 func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord, error) {
+	return collectRunLogContext(context.Background(), id, p, until, telemetry)
+}
+
+// cancelPollEvents is how many kernel events run between context polls
+// of a cancellable run: coarse enough to cost nothing on the hot path
+// (one nil-check per event, one poll per few thousand), fine enough to
+// abandon a run within milliseconds of cancellation.
+const cancelPollEvents = 4096
+
+func collectRunLogContext(ctx context.Context, id ID, p Params, until float64, telemetry bool) ([]LogRecord, error) {
 	if until <= 0 {
 		return nil, fmt.Errorf("core: non-positive log window %v", until)
 	}
@@ -348,6 +371,9 @@ func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord,
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stages, opts := stagesFor(id, p)
 	opts.trace = true
 	opts.instrument = telemetry
@@ -358,10 +384,20 @@ func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord,
 	rc.hooks(&opts)
 	rig := buildPipeline(p, stages, opts)
 	rc.attach(rig)
+	if ctx.Done() != nil {
+		rig.K.SetCancelCheck(cancelPollEvents, func() bool { return ctx.Err() != nil })
+	}
 	rig.Start()
 	rig.K.RunUntil(sim.Time(until))
+	if err := ctx.Err(); err != nil {
+		rig.K.Shutdown()
+		return nil, err
+	}
 	records := rc.collect(rig)
-	rig.K.Stop()
+	// Release the rig's process goroutines: a long-running host (the
+	// simulation server) would otherwise strand a pipeline's worth of
+	// parked goroutines on every bounded run.
+	rig.K.Shutdown()
 
 	if eng != nil {
 		vio := evalAssertions(eng, records)

@@ -3,7 +3,9 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -66,5 +68,33 @@ func TestRunLoggedRejectsBadWindow(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := RunLogged(Exp1, DefaultParams(), 0, &buf); err == nil {
 		t.Fatal("zero window accepted")
+	}
+}
+
+func TestRunTelemetryContextCancellation(t *testing.T) {
+	p := DefaultParams()
+	// An already-expired context abandons the run before it starts and
+	// writes nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	n, err := RunTelemetryContext(ctx, Exp1, p, 120, &buf)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: n=%d err=%v, want context.Canceled", n, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("cancelled run wrote %d bytes, want 0", buf.Len())
+	}
+	// An uncancelled context-aware run is byte-identical to the plain
+	// entry: the cancel poll must not perturb the simulation.
+	var plain, polled bytes.Buffer
+	if _, err := RunTelemetry(Exp1, p, 120, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTelemetryContext(context.Background(), Exp1, p, 120, &polled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), polled.Bytes()) {
+		t.Fatal("context-aware run diverged from RunTelemetry output")
 	}
 }

@@ -10,7 +10,10 @@ import "strings"
 //
 //   - nondeterminism guards the simulator proper — everything under
 //     internal/ feeds the deterministic experiment pipeline. The lint
-//     subsystem itself is excluded (it runs the go tool, not the sim).
+//     subsystem is excluded (it runs the go tool, not the sim), and so
+//     is the simulation service: a server legitimately reads the wall
+//     clock and the environment, and every simulation it launches goes
+//     through the still-guarded core entry points.
 //   - maprange applies module-wide: any package may format output that
 //     lands in a golden file or a CI cmp smoke.
 //   - nakedgo and eventreuse apply everywhere except internal/sim,
@@ -21,7 +24,8 @@ func inScope(analyzer, pkgPath string) bool {
 	switch analyzer {
 	case "nondeterminism":
 		return strings.HasPrefix(pkgPath, "dvsim/internal/") &&
-			!strings.HasPrefix(pkgPath, "dvsim/internal/lint")
+			!strings.HasPrefix(pkgPath, "dvsim/internal/lint") &&
+			!strings.HasPrefix(pkgPath, "dvsim/internal/service")
 	case "maprange":
 		return pkgPath == "dvsim" || strings.HasPrefix(pkgPath, "dvsim/")
 	case "nakedgo", "eventreuse":

@@ -35,6 +35,11 @@ type Experiment struct {
 	Frames int
 	// Rotation is the node-rotation period of a serial topology line.
 	Rotation int
+	// Shape records a topology line's builder arguments (e.g.
+	// {"stages": 2, "width": 3}); nil for paper-experiment lines. It
+	// is key material: two wide graphs with the same node count but
+	// different shapes are different simulations.
+	Shape map[string]int
 	// Seeded marks a point expanded from the seeds column; Seed is the
 	// manifest's seed token and RunSeed the derived value actually
 	// planted in the fault scenario.
@@ -44,10 +49,14 @@ type Experiment struct {
 	// Params is the resolved platform, governor, fault and assertion
 	// configuration.
 	Params core.Params
+	// Platform is the serializable form Params was resolved from —
+	// the content the run cache keys on (Params itself holds closures
+	// and cannot be hashed). See KeySpec.
+	Platform core.PlatformConfig
 }
 
-// experimentNodes maps each paper experiment to its node count.
-func experimentNodes(id core.ID) int {
+// ExperimentNodes maps each paper experiment to its node count.
+func ExperimentNodes(id core.ID) int {
 	switch id {
 	case core.Exp2, core.Exp2A, core.Exp2B, core.Exp2C, core.Exp2D, core.Exp3A:
 		return 2
@@ -62,7 +71,7 @@ func experimentNodes(id core.ID) int {
 // this is what lets a degenerate manifest reproduce the repository's
 // telemetry goldens byte for byte).
 func (m *Manifest) Expand() ([]Experiment, error) {
-	base, err := m.platform()
+	base, basePC, err := m.platform()
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +87,7 @@ func (m *Manifest) Expand() ([]Experiment, error) {
 			return nil, fmt.Errorf("line %d: duplicate experiment line (identical to line %d)", row.n, prev)
 		}
 		seen[sig] = i
-		exps, err := m.expandLine(row, base, baseSeed)
+		exps, err := m.expandLine(row, base, basePC, baseSeed)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", row.n, err)
 		}
@@ -104,22 +113,27 @@ func (m *Manifest) signature(row line) string {
 	return strings.Join(parts, "\x00")
 }
 
-// platform resolves the global platform key into base Params.
-func (m *Manifest) platform() (core.Params, error) {
+// platform resolves the global platform key into base Params plus the
+// serializable config they came from (cache-key material).
+func (m *Manifest) platform() (core.Params, core.PlatformConfig, error) {
 	switch p := m.global("platform"); p {
 	case "", "default":
-		return core.DefaultParams(), nil
+		return core.DefaultParams(), core.DefaultPlatformConfig(), nil
 	default:
 		f, err := os.Open(filepath.Join(m.Dir, p))
 		if err != nil {
-			return core.Params{}, fmt.Errorf("platform: %w", err)
+			return core.Params{}, core.PlatformConfig{}, fmt.Errorf("platform: %w", err)
 		}
 		defer f.Close()
-		params, err := core.LoadPlatform(f)
+		pc, err := core.LoadPlatformConfig(f)
 		if err != nil {
-			return core.Params{}, fmt.Errorf("platform %s: %w", p, err)
+			return core.Params{}, core.PlatformConfig{}, fmt.Errorf("platform %s: %w", p, err)
 		}
-		return params, nil
+		params, err := pc.Params()
+		if err != nil {
+			return core.Params{}, core.PlatformConfig{}, fmt.Errorf("platform %s: %w", p, err)
+		}
+		return params, pc, nil
 	}
 }
 
@@ -136,8 +150,8 @@ func (m *Manifest) baseSeed() (uint64, error) {
 }
 
 // expandLine resolves one manifest row into its experiments.
-func (m *Manifest) expandLine(row line, base core.Params, baseSeed uint64) ([]Experiment, error) {
-	e := Experiment{Line: row.n, Params: base}
+func (m *Manifest) expandLine(row line, base core.Params, basePC core.PlatformConfig, baseSeed uint64) ([]Experiment, error) {
+	e := Experiment{Line: row.n, Params: base, Platform: basePC}
 
 	expText := m.value(row, "experiment")
 	topoText := m.value(row, "topology")
@@ -204,9 +218,9 @@ func (m *Manifest) expandLine(row line, base core.Params, baseSeed uint64) ([]Ex
 			e.Params.RotationPeriod = rotation
 		}
 		e.ID = id
-		e.Nodes = experimentNodes(id)
+		e.Nodes = ExperimentNodes(id)
 	} else {
-		g, kind, err := m.buildTopology(row, topoText)
+		g, kind, shape, err := m.buildTopology(row, topoText)
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +229,7 @@ func (m *Manifest) expandLine(row line, base core.Params, baseSeed uint64) ([]Ex
 		}
 		e.Kind = kind
 		e.Graph = g
+		e.Shape = shape
 		e.Nodes = len(g.Nodes)
 		e.Rotation = rotation
 	}
@@ -276,8 +291,9 @@ func (m *Manifest) rejectShapeKeys(row line, what string) error {
 }
 
 // buildTopology constructs the graph a topology line describes,
-// rejecting shape keys that do not belong to the kind.
-func (m *Manifest) buildTopology(row line, kind string) (*topology.Graph, string, error) {
+// rejecting shape keys that do not belong to the kind. The returned
+// shape map records the builder arguments for cache-key material.
+func (m *Manifest) buildTopology(row line, kind string) (*topology.Graph, string, map[string]int, error) {
 	need := func(keys ...string) ([]int, error) {
 		for _, k := range shapeKeys {
 			if contains(keys, k) {
@@ -300,45 +316,52 @@ func (m *Manifest) buildTopology(row line, kind string) (*topology.Graph, string
 		}
 		return vals, nil
 	}
+	shape := func(v []int, keys ...string) map[string]int {
+		s := make(map[string]int, len(keys))
+		for i, k := range keys {
+			s[k] = v[i]
+		}
+		return s
+	}
 	switch kind {
 	case "serial":
 		v, err := need("nodes")
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		if v[0] < 1 {
-			return nil, "", fmt.Errorf("serial needs nodes ≥ 1, got %d", v[0])
+			return nil, "", nil, fmt.Errorf("serial needs nodes ≥ 1, got %d", v[0])
 		}
-		return topology.Serial(v[0], topology.Config{}), kind, nil
+		return topology.Serial(v[0], topology.Config{}), kind, shape(v, "nodes"), nil
 	case "wide":
 		v, err := need("stages", "width")
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		if v[0] < 1 || v[1] < 1 {
-			return nil, "", fmt.Errorf("wide needs stages ≥ 1 and width ≥ 1, got %d×%d", v[0], v[1])
+			return nil, "", nil, fmt.Errorf("wide needs stages ≥ 1 and width ≥ 1, got %d×%d", v[0], v[1])
 		}
-		return topology.Wide(v[0], v[1], topology.Config{}), kind, nil
+		return topology.Wide(v[0], v[1], topology.Config{}), kind, shape(v, "stages", "width"), nil
 	case "tree":
 		v, err := need("bf", "depth")
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		if v[0] < 2 || v[1] < 1 {
-			return nil, "", fmt.Errorf("tree needs bf ≥ 2 and depth ≥ 1, got bf=%d depth=%d", v[0], v[1])
+			return nil, "", nil, fmt.Errorf("tree needs bf ≥ 2 and depth ≥ 1, got bf=%d depth=%d", v[0], v[1])
 		}
-		return topology.Tree(v[0], v[1], topology.Config{}), kind, nil
+		return topology.Tree(v[0], v[1], topology.Config{}), kind, shape(v, "bf", "depth"), nil
 	case "mesh":
 		v, err := need("sensors", "aggregators")
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		if v[1] < 1 || v[1] > v[0] {
-			return nil, "", fmt.Errorf("mesh needs 1 ≤ aggregators ≤ sensors, got %d sensors, %d aggregators", v[0], v[1])
+			return nil, "", nil, fmt.Errorf("mesh needs 1 ≤ aggregators ≤ sensors, got %d sensors, %d aggregators", v[0], v[1])
 		}
-		return topology.Mesh(v[0], v[1], topology.Config{}), kind, nil
+		return topology.Mesh(v[0], v[1], topology.Config{}), kind, shape(v, "sensors", "aggregators"), nil
 	default:
-		return nil, "", fmt.Errorf("unknown topology %q (want serial, wide, tree or mesh)", kind)
+		return nil, "", nil, fmt.Errorf("unknown topology %q (want serial, wide, tree or mesh)", kind)
 	}
 }
 

@@ -106,11 +106,22 @@ var csvHeader = []string{
 // sweep order. Floats use the shortest exact representation, so the
 // output is byte-deterministic.
 func CSV(results []Result) string {
+	rows := make([]Row, len(results))
+	for i, r := range results {
+		rows[i] = RowOf(r)
+	}
+	return RowsCSV(rows)
+}
+
+// RowsCSV renders pre-flattened rows — the entry for callers that
+// re-derive rows from cached outcomes instead of fresh results (the
+// simulation service), producing bytes identical to CSV on the same
+// sweep.
+func RowsCSV(rows []Row) string {
 	var b strings.Builder
 	w := csv.NewWriter(&b)
 	w.Write(csvHeader)
-	for _, r := range results {
-		row := RowOf(r)
+	for _, row := range rows {
 		w.Write([]string{
 			strconv.Itoa(row.Index),
 			strconv.Itoa(row.Line),
@@ -141,9 +152,19 @@ func CSV(results []Result) string {
 // WriteJSONL streams the aggregated sweep as JSON Lines, one object
 // per experiment in sweep order — the machine-readable twin of CSV.
 func WriteJSONL(w io.Writer, results []Result) error {
+	rows := make([]Row, len(results))
+	for i, r := range results {
+		rows[i] = RowOf(r)
+	}
+	return WriteRowsJSONL(w, rows)
+}
+
+// WriteRowsJSONL streams pre-flattened rows as JSON Lines; the twin of
+// RowsCSV.
+func WriteRowsJSONL(w io.Writer, rows []Row) error {
 	enc := json.NewEncoder(w)
-	for _, r := range results {
-		if err := enc.Encode(RowOf(r)); err != nil {
+	for _, row := range rows {
+		if err := enc.Encode(row); err != nil {
 			return err
 		}
 	}

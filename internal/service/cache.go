@@ -1,0 +1,175 @@
+// Package service is dvsim-as-a-service: a long-running simulation
+// server with a content-addressed run cache. Because every simulation
+// in this repository is byte-deterministic — fully a function of
+// (engine version, resolved configuration, seed) — a run's output can
+// be cached under the SHA-256 of its canonical identity
+// (manifest.KeySpec) and replayed forever: a cache hit returns the
+// stored bytes, a miss simulates exactly once and stores them. The
+// server executes submissions on a bounded worker pool fed by a
+// two-level priority queue (interactive single runs overtake bulk
+// manifest sweeps), streams telemetry over chunked HTTP responses, and
+// drains in-flight runs on shutdown.
+//
+// This package is deliberately outside the determinism lint scope: a
+// server reads the wall clock and serves concurrent clients. Every
+// simulation it launches still goes through the guarded core entry
+// points, which is what makes the cache sound in the first place.
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// CacheStats counts what the content-addressed store has done since
+// the server started (plus what it found on disk at open).
+type CacheStats struct {
+	// Hits served stored bytes; Misses fell through to a simulation;
+	// Puts stored a fresh result; Coalesced joined an identical
+	// in-flight run instead of starting a duplicate.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Coalesced uint64 `json:"coalesced"`
+	// Entries and Bytes measure the store's current contents.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Cache is the content-addressed run store: artifact bytes addressed
+// by the hex SHA-256 of their run's canonical KeySpec. Entries are
+// kept in memory and, when a directory is configured, mirrored to
+// disk, so a restarted server starts warm. Safe for concurrent use.
+type Cache struct {
+	dir string // "" = memory only
+
+	mu    sync.Mutex
+	mem   map[string][]byte
+	stats CacheStats
+}
+
+// NewCache opens a store. dir == "" keeps entries in memory only;
+// otherwise dir is created if needed and existing entries are indexed
+// (their bytes load lazily on first hit).
+func NewCache(dir string) (*Cache, error) {
+	c := &Cache{dir: dir, mem: make(map[string][]byte)}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: cache dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: cache dir: %w", err)
+	}
+	for _, e := range entries {
+		key, ok := strings.CutSuffix(e.Name(), ".bin")
+		if !ok || !validKey(key) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		c.stats.Entries++
+		c.stats.Bytes += info.Size()
+	}
+	return c, nil
+}
+
+// validKey recognizes the hex SHA-256 names Put writes, so foreign
+// files in the cache directory are ignored rather than served.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".bin")
+}
+
+// Get returns the stored bytes for key, counting a hit or a miss. The
+// returned slice is the caller's to read, never to mutate.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.mem[key]; ok {
+		c.stats.Hits++
+		return b, true
+	}
+	if c.dir != "" {
+		if b, err := os.ReadFile(c.path(key)); err == nil {
+			c.mem[key] = b
+			c.stats.Hits++
+			return b, true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put stores bytes under key. A disk-backed store writes atomically
+// (temp file + rename), so a crashed server never leaves a truncated
+// entry behind. Re-putting an existing key is a no-op: the store is
+// content-addressed, equal keys mean equal bytes.
+func (c *Cache) Put(key string, b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[key]; ok {
+		return nil
+	}
+	if c.dir != "" {
+		if _, err := os.Stat(c.path(key)); err == nil {
+			c.mem[key] = b
+			return nil
+		}
+		tmp, err := os.CreateTemp(c.dir, "put-*")
+		if err != nil {
+			return fmt.Errorf("service: cache put: %w", err)
+		}
+		if _, err := tmp.Write(b); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("service: cache put: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("service: cache put: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("service: cache put: %w", err)
+		}
+	}
+	c.mem[key] = b
+	c.stats.Puts++
+	c.stats.Entries++
+	c.stats.Bytes += int64(len(b))
+	return nil
+}
+
+// Coalesced counts a request that joined an identical in-flight run.
+func (c *Cache) Coalesced() {
+	c.mu.Lock()
+	c.stats.Coalesced++
+	c.mu.Unlock()
+}
+
+// Stats returns a copy of the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestCacheMemory(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	if err := c.Put(k, []byte("artifact")); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := c.Get(k)
+	if !ok || !bytes.Equal(b, []byte("artifact")) {
+		t.Fatalf("Get = %q, %v", b, ok)
+	}
+	st := c.Stats()
+	want := CacheStats{Hits: 1, Misses: 1, Puts: 1, Entries: 1, Bytes: 8}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+	// Re-putting an existing key is a no-op, not a double count.
+	if err := c.Put(k, []byte("artifact")); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("re-put counted: %+v", st)
+	}
+}
+
+func TestCacheDiskPersists(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("persist")
+	if err := c.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same directory serves the entry and counts
+	// it in its opening inventory.
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Entries != 1 || st.Bytes != 7 {
+		t.Fatalf("reopened stats %+v", st)
+	}
+	b, ok := c2.Get(k)
+	if !ok || string(b) != "payload" {
+		t.Fatalf("reopened Get = %q, %v", b, ok)
+	}
+}
+
+func TestCacheIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"README.md", "not-a-key.bin", "put-1234"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("foreign files counted: %+v", st)
+	}
+}

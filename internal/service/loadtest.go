@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadTestConfig drives LoadTest against a running server.
+type LoadTestConfig struct {
+	// Base is the server's root URL.
+	Base string
+	// Clients is the number of concurrent submitters; ≤ 0 selects 8.
+	Clients int
+	// Duration bounds the hammering; ≤ 0 selects 10 s.
+	Duration time.Duration
+	// Submission is the request every client repeats. Leave zero for
+	// the default probe: experiment 1 over a 120 s telemetry window —
+	// small enough to cache on the first request, so the test measures
+	// warm-cache serving throughput.
+	Submission Submission
+}
+
+// LoadTestReport is what came back.
+type LoadTestReport struct {
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_s"`
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	// Hits/Misses/Coalesced classify the responses by X-Dvsim-Cache.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Bytes     uint64 `json:"bytes"`
+	// RequestsPerS is sustained successful throughput.
+	RequestsPerS float64 `json:"requests_per_s"`
+	// Key and SHA256 identify the artifact every response was checked
+	// against: all successful responses were byte-identical.
+	Key    string `json:"key"`
+	SHA256 string `json:"sha256"`
+}
+
+// LoadTest hammers a server's synchronous submit endpoint with
+// identical requests from concurrent clients and verifies every
+// response is byte-identical — the cold run and every warm replay
+// produce the same artifact, which is the service's core promise. It
+// returns sustained requests/sec over the configured window.
+func LoadTest(ctx context.Context, cfg LoadTestConfig) (LoadTestReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	sub := cfg.Submission
+	if sub.Experiment == "" && sub.Manifest == "" {
+		sub.Experiment = "1"
+		sub.UntilS = 120
+	}
+	client := &Client{Base: cfg.Base}
+
+	// Reference artifact: one synchronous request before the clock
+	// starts, which also warms the cache.
+	var ref hashWriter
+	refInfo, err := client.Submit(ctx, sub, &ref)
+	if err != nil {
+		return LoadTestReport{}, fmt.Errorf("loadtest reference request: %w", err)
+	}
+	refSum := ref.sum()
+
+	var requests, errors, hits, misses, coalesced, bytes atomic.Uint64
+	deadline := time.Now().Add(cfg.Duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		//lint:allow nakedgo load-test clients; joined by the WaitGroup below before the function returns
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) && runCtx.Err() == nil {
+				var hw hashWriter
+				info, err := client.Submit(runCtx, sub, &hw)
+				if err != nil {
+					if runCtx.Err() != nil {
+						return // deadline, not a failure
+					}
+					errors.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				if hw.sum() != refSum {
+					errors.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("response diverged from reference artifact (%d bytes, want %d)", hw.n, ref.n))
+					continue
+				}
+				requests.Add(1)
+				bytes.Add(uint64(info.Bytes))
+				switch info.Cache {
+				case "hit":
+					hits.Add(1)
+				case "coalesced":
+					coalesced.Add(1)
+				default:
+					misses.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := LoadTestReport{
+		Clients:   cfg.Clients,
+		DurationS: cfg.Duration.Seconds(),
+		Requests:  requests.Load(),
+		Errors:    errors.Load(),
+		Hits:      hits.Load(),
+		Misses:    misses.Load(),
+		Coalesced: coalesced.Load(),
+		Bytes:     bytes.Load(),
+		Key:       refInfo.Key,
+		SHA256:    refSum,
+	}
+	rep.RequestsPerS = float64(rep.Requests) / cfg.Duration.Seconds()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return rep, fmt.Errorf("loadtest: %d error(s), first: %w", rep.Errors, err)
+	}
+	return rep, nil
+}
+
+// hashWriter hashes what flows through instead of buffering it, so a
+// load test over big artifacts stays cheap on memory.
+type hashWriter struct {
+	h hash.Hash
+	n int64
+}
+
+func (hw *hashWriter) Write(p []byte) (int, error) {
+	if hw.h == nil {
+		hw.h = sha256.New()
+	}
+	hw.n += int64(len(p))
+	return hw.h.Write(p)
+}
+
+func (hw *hashWriter) sum() string {
+	if hw.h == nil {
+		return ""
+	}
+	return hex.EncodeToString(hw.h.Sum(nil))
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"sync"
+)
+
+// stream is a broadcast buffer: one writer (the worker running the
+// simulation) appends telemetry bytes as the run produces them, any
+// number of followers copy them out concurrently — this is what lets a
+// cache-miss submission stream JSONL over a chunked response while the
+// simulation is still going, and lets a coalesced request watch the
+// same run live instead of waiting for it to finish.
+type stream struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	done bool
+}
+
+func newStream() *stream {
+	st := &stream{}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// Write appends produced bytes and wakes followers. It never fails:
+// the stream is an elastic buffer, backpressure is not its job.
+func (st *stream) Write(p []byte) (int, error) {
+	st.mu.Lock()
+	st.buf = append(st.buf, p...)
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	return len(p), nil
+}
+
+// close marks the stream complete (successfully or not) and releases
+// every follower.
+func (st *stream) close() {
+	st.mu.Lock()
+	st.done = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// follow copies the stream to w from the beginning, flushing after
+// every chunk, until the stream closes or the write fails (client went
+// away). It returns the number of bytes written.
+func (st *stream) follow(w io.Writer) (int64, error) {
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	var off int64
+	for {
+		st.mu.Lock()
+		for int64(len(st.buf)) <= off && !st.done {
+			st.cond.Wait()
+		}
+		chunk := st.buf[off:]
+		done := st.done
+		st.mu.Unlock()
+		if len(chunk) > 0 {
+			n, err := w.Write(chunk)
+			off += int64(n)
+			if err != nil {
+				return off, err
+			}
+			flush()
+		}
+		if done && len(chunk) == 0 {
+			return off, nil
+		}
+	}
+}

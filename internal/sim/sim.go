@@ -113,6 +113,16 @@ type Kernel struct {
 	// limit aborts runaway simulations; 0 means no limit.
 	limit uint64
 
+	// cancelFn, when set, is polled every cancelEvery fired events; a
+	// true return stops the run exactly like Stop. It lets a host
+	// (e.g. a simulation server draining a shutdown, or a client that
+	// hung up) interrupt a long run without perturbing determinism:
+	// the check schedules nothing and touches no simulation state, so
+	// an uncancelled run is byte-identical to one with no check
+	// installed.
+	cancelFn    func() bool
+	cancelEvery uint64
+
 	// freeProc heads the free-list of finished detached processes; their
 	// goroutines, channels and embedded timer Events are recycled by
 	// SpawnDetached. See proc.go.
@@ -350,6 +360,9 @@ func (k *Kernel) step() bool {
 		if k.limit > 0 && k.fired > k.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", k.limit, k.now))
 		}
+		if k.cancelFn != nil && k.fired%k.cancelEvery == 0 && k.cancelFn() {
+			k.stopped = true
+		}
 		k.drainStale()
 		fn()
 		return true
@@ -366,13 +379,16 @@ func (k *Kernel) Run() {
 }
 
 // RunUntil executes events with time ≤ t, then sets the clock to t.
-// Events scheduled after t remain queued.
+// Events scheduled after t remain queued. A run halted early — by Stop
+// or a tripped cancel check — leaves the clock at the last fired event
+// instead of jumping to t, so a later resume replays the remaining
+// queue without time running backwards.
 func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
 	for !k.stopped && k.live > 0 && k.queue[0].t <= t {
 		k.step()
 	}
-	if k.now < t {
+	if !k.stopped && k.now < t {
 		k.now = t
 	}
 }
@@ -380,6 +396,33 @@ func (k *Kernel) RunUntil(t Time) {
 // Stop halts Run / RunUntil after the current event completes. Queued
 // events are preserved; a later Run resumes them.
 func (k *Kernel) Stop() { k.stopped = true }
+
+// SetCancelCheck installs fn, polled every `every` fired events during
+// Run and RunUntil; a true return stops the run exactly like Stop (the
+// event that tripped the check still completes, queued events are
+// preserved). It is the cancellable run entry for hosts that must
+// interrupt a simulation mid-flight — a serving layer draining on
+// shutdown, a client that disconnected — without touching determinism:
+// the poll schedules no events and reads no simulation state, so a run
+// that is never cancelled stays byte-identical to one with no check
+// installed. every ≤ 0 or a nil fn removes the check.
+func (k *Kernel) SetCancelCheck(every int, fn func() bool) {
+	if every <= 0 || fn == nil {
+		k.cancelFn, k.cancelEvery = nil, 0
+		return
+	}
+	k.cancelFn, k.cancelEvery = fn, uint64(every)
+}
+
+// Shutdown terminates every live process and releases its goroutine,
+// for hosts that end a simulation at a bounded horizon (RunUntil)
+// instead of draining the queue. Run performs the same teardown
+// implicitly when the queue empties; a bounded run that skips Shutdown
+// strands its parked process goroutines for the life of the host
+// process — harmless in a run-once CLI, a leak per request in a
+// long-running simulation server. The kernel must not be run again
+// afterwards.
+func (k *Kernel) Shutdown() { k.shutdownProcs() }
 
 // Idle reports whether no events remain queued. It is a pure read.
 func (k *Kernel) Idle() bool { return k.live == 0 }

@@ -328,3 +328,51 @@ func TestDiagnoseNamesBlockedProcs(t *testing.T) {
 		t.Errorf("diagnose after shutdown: %v", k.Diagnose())
 	}
 }
+
+func TestCancelCheckStopsRun(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	var tick func()
+	ev := k.At(1, func() { fired++; tick() })
+	tick = func() { k.Reschedule(ev, k.Now()+1) }
+	canceled := false
+	k.SetCancelCheck(1, func() bool { return canceled })
+	k.RunUntil(10)
+	if fired != 10 {
+		t.Fatalf("uncancelled run fired %d events, want 10", fired)
+	}
+	canceled = true
+	k.RunUntil(20)
+	if fired != 11 {
+		t.Fatalf("cancelled run fired %d more events, want exactly 1 (the tripping event completes)", fired-10)
+	}
+	// The queue is preserved: clearing the cancellation resumes the run.
+	canceled = false
+	k.RunUntil(20)
+	if fired != 20 {
+		t.Fatalf("resumed run fired %d events total, want 20", fired)
+	}
+}
+
+func TestCancelCheckPolledEveryN(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	var tick func()
+	ev := k.At(1, func() { fired++; tick() })
+	tick = func() { k.Reschedule(ev, k.Now()+1) }
+	polls := 0
+	k.SetCancelCheck(4, func() bool { polls++; return true })
+	k.RunUntil(100)
+	if fired != 4 {
+		t.Fatalf("fired %d events before the first poll tripped, want 4", fired)
+	}
+	if polls != 1 {
+		t.Fatalf("polled %d times, want 1", polls)
+	}
+	// Removing the check lets the run proceed untouched.
+	k.SetCancelCheck(0, nil)
+	k.RunUntil(100)
+	if fired != 100 {
+		t.Fatalf("fired %d events after removing the check, want 100", fired)
+	}
+}

@@ -13,6 +13,7 @@ package dvsim
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"dvsim/internal/atr"
@@ -406,5 +407,43 @@ func BenchmarkAblationIrDALink(b *testing.B) {
 			b.ReportMetric(t1, "T1_hours")
 			b.ReportMetric(t2, "T2_hours")
 		})
+	}
+}
+
+// BenchmarkRunTelemetry measures the full telemetry pipeline — bounded
+// run, record collection, ordered per-source merge, JSONL encode — into
+// a discarding writer. With the pooled record slabs and the hand-rolled
+// encoder, steady-state iterations recycle their working set through
+// the process-wide pools: allocs/op here is the zero-allocation claim's
+// regression gate (run with -benchmem).
+func BenchmarkRunTelemetry(b *testing.B) {
+	p := core.DefaultParams()
+	const windowS = 600
+	b.ReportAllocs()
+	records := 0
+	for i := 0; i < b.N; i++ {
+		n, err := core.RunTelemetry(core.Exp2D, p, windowS, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = n
+	}
+	b.ReportMetric(float64(records), "records")
+}
+
+// BenchmarkMonteCarloFork measures one warm-state fork — replayed
+// history with warm-point verification plus the divergent future — the
+// unit cost of a thousand-seed study.
+func BenchmarkMonteCarloFork(b *testing.B) {
+	snap, err := core.TakeSnapshot(core.Exp2D, core.DefaultParams(), 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.Fork(uint64(i)+1, 600, io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

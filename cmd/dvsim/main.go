@@ -13,6 +13,7 @@
 //	dvsim -exp 1 -assert spec.json        # check an assertion catalog online during the run
 //	dvsim -check log.jsonl -assert spec.json   # replay a recorded telemetry log offline
 //	dvsim -manifest sweep.toml [-j N] [-agg-jsonl FILE]   # run a declarative sweep (see MANIFESTS.md)
+//	dvsim -exp 2D -mc 1000 [-mc-warm 60] [-until 3600]    # warm-state Monte Carlo: fork seeded futures from one snapshot
 package main
 
 import (
@@ -132,6 +133,9 @@ var flagConflicts = [][2]string{
 	{"manifest", "assert"}, {"manifest", "params"}, {"manifest", "rotation"},
 	{"manifest", "battery"}, {"manifest", "metrics"}, {"manifest", "ports"},
 	{"manifest", "csv"}, {"manifest", "frames"}, {"manifest", "until"},
+	{"manifest", "mc"}, {"check", "mc"}, {"plan", "mc"}, {"mc", "telemetry"},
+	{"mc", "runlog"}, {"mc", "metrics"}, {"mc", "ports"}, {"mc", "compare"},
+	{"mc", "frames"}, {"remote", "mc"}, {"dumpparams", "mc"},
 	{"check", "exp"}, {"check", "run"}, {"check", "telemetry"},
 	{"check", "runlog"}, {"check", "plan"}, {"check", "faults"},
 	{"check", "governor"}, {"check", "params"}, {"check", "metrics"},
@@ -293,6 +297,9 @@ func main() {
 	assertFile := flag.String("assert", "", "load a JSON assertion spec (see scenarios/assertions/) and check it against the run's telemetry stream; with -check, against a recorded log")
 	checkFile := flag.String("check", "", "replay a recorded telemetry JSONL FILE through the -assert spec and report the verdict (offline; no simulation)")
 	violationsFile := flag.String("violations", "", "write assertion violations as CSV to FILE (header-only when every invariant holds)")
+	mcForks := flag.Int("mc", 0, "with -exp: warm-state Monte Carlo — snapshot the run at the warm point, fork N seeded futures from it (in parallel, see -j) and print one digest row per fork")
+	mcWarm := flag.Float64("mc-warm", 0, "with -mc: warm point in simulated seconds, quantized to a frame boundary (0 = a quarter of the horizon)")
+	mcSeed := flag.Uint64("mc-seed", 1, "with -mc: first fork seed; forks use seeds BASE..BASE+N-1")
 	manifestFile := flag.String("manifest", "", "run a declarative experiment manifest (see MANIFESTS.md and scenarios/manifests/): expand every line into a sweep, run it all-core, aggregate one row per run")
 	aggCSV := flag.String("agg-csv", "", "with -manifest: write the aggregated CSV to FILE instead of stdout")
 	aggJSONL := flag.String("agg-jsonl", "", "with -manifest: also write the aggregated sweep as JSON Lines to FILE")
@@ -499,6 +506,50 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *mcForks > 0 {
+		// 2D is the default subject: Monte Carlo over fault seeds needs a
+		// fault load to diverge under, and 2D carries the built-in one.
+		id := core.Exp2D
+		if *expFlag != "" {
+			id = core.ID(*expFlag)
+		}
+		horizon := *until
+		if horizon <= 0 {
+			horizon = 3600
+		}
+		warm := *mcWarm
+		if warm <= 0 {
+			warm = horizon / 4
+		}
+		snap, err := core.TakeSnapshot(id, p, warm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvsim: -mc: %v\n", err)
+			os.Exit(1)
+		}
+		seeds := make([]uint64, *mcForks)
+		for i := range seeds {
+			seeds[i] = *mcSeed + uint64(i)
+		}
+		res := snap.MonteCarlo(seeds, horizon, *workers)
+		distinct := make(map[uint64]bool)
+		failures := 0
+		fmt.Println("seed,records,digest")
+		for _, r := range res {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "dvsim: -mc: seed %d: %v\n", r.Seed, r.Err)
+				failures++
+				continue
+			}
+			fmt.Printf("%d,%d,%016x\n", r.Seed, r.Records, r.Sum64)
+			distinct[r.Sum64] = true
+		}
+		fmt.Fprintf(os.Stderr, "exp %s: %d fork(s) from warm point %g s (%d frame(s) in), horizon %g s: %d distinct future(s)\n",
+			id, len(res), snap.WarmS, snap.Frames, horizon, len(distinct))
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *runlog > 0 {
 		id := core.Exp1
 		if *expFlag != "" {

@@ -30,7 +30,7 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_kernel.json", "with -bench: report output path")
 	baseline := flag.String("baseline", "", "with -bench: compare against this committed report and fail on regression")
 	timeTol := flag.Float64("tolerance", 4.0, "with -baseline: allowed ns/event ratio vs baseline (generous: the gate catches order-of-magnitude regressions, not cross-machine noise)")
-	allocTol := flag.Float64("alloc-tolerance", 1.25, "with -baseline: allowed allocs/op ratio vs baseline")
+	allocTol := flag.Float64("alloc-tolerance", 1.10, "with -baseline: allowed allocs/op (and bytes/op) ratio vs baseline; tight because steady-state runs recycle their working set through process-wide pools")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memprofile := flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to FILE")

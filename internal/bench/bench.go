@@ -141,6 +141,11 @@ func Compare(fresh, base Report, timeTol, allocTol float64) []string {
 				"%s: allocs/op %d exceeds baseline %d × tolerance %.2g",
 				f.Name, f.AllocsPerOp, b.AllocsPerOp, allocTol))
 		}
+		if b.BytesPerOp > 0 && float64(f.BytesPerOp) > float64(b.BytesPerOp)*allocTol {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: bytes/op %d exceeds baseline %d × tolerance %.2g",
+				f.Name, f.BytesPerOp, b.BytesPerOp, allocTol))
+		}
 	}
 	return msgs
 }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	telem "dvsim/internal/telemetry"
+)
+
+// TestEncodeRecordMatchesGoldensAndStdlib is the encoder's contract
+// test against real telemetry: every committed golden line, decoded
+// into a LogRecord, must re-encode to the exact original bytes through
+// BOTH encoding/json and the hand-rolled encoder. The stdlib leg proves
+// the goldens are a faithful oracle; the telemetry leg proves the fast
+// path cannot drift from them.
+func TestEncodeRecordMatchesGoldensAndStdlib(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "telemetry_*.jsonl"))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no telemetry goldens found: %v", err)
+	}
+	for _, path := range goldens {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var std bytes.Buffer
+		stdEnc := json.NewEncoder(&std)
+		var fast bytes.Buffer
+		fastEnc := telem.NewEncoder(&fast)
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := sc.Bytes()
+			var r LogRecord
+			if err := json.Unmarshal(raw, &r); err != nil {
+				t.Fatalf("%s:%d: %v", path, line, err)
+			}
+			std.Reset()
+			if err := stdEnc.Encode(r); err != nil {
+				t.Fatalf("%s:%d: stdlib encode: %v", path, line, err)
+			}
+			if got := bytes.TrimSuffix(std.Bytes(), []byte("\n")); !bytes.Equal(got, raw) {
+				t.Fatalf("%s:%d: stdlib re-encode drifted from golden:\ngolden: %s\ngot:    %s", path, line, raw, got)
+			}
+			fast.Reset()
+			fastEnc.Reset(&fast)
+			encodeRecord(fastEnc, &r)
+			if fastEnc.Flush(); fastEnc.Err() != nil {
+				t.Fatalf("%s:%d: telemetry encode: %v", path, line, fastEnc.Err())
+			}
+			if got := bytes.TrimSuffix(fast.Bytes(), []byte("\n")); !bytes.Equal(got, raw) {
+				t.Fatalf("%s:%d: telemetry re-encode drifted from golden:\ngolden: %s\ngot:    %s", path, line, raw, got)
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if line == 0 {
+			t.Errorf("%s: empty golden", path)
+		}
+	}
+}
+
+// TestEncodeRecordCtlMatchesStdlib covers the govern-event shape the
+// goldens lack: controller terms as a fixed-size array under omitzero
+// must serialize exactly as encoding/json does.
+func TestEncodeRecordCtlMatchesStdlib(t *testing.T) {
+	recs := []LogRecord{
+		{T: 4.6, Event: "govern", Node: "node1", Frame: 2, FromMHz: 73.7, MHz: 103.2,
+			Value: 0.41, Queue: 3, Ctl: [3]float64{0.5, -0.25, 1e-7}},
+		{T: 9.2, Event: "govern", Node: "node2", Ctl: [3]float64{0, 0, 0}}, // omitted
+		{T: 11.5, Event: "govern", Node: "node2", Ctl: [3]float64{0, 0, 1}},
+	}
+	for _, r := range recs {
+		var std bytes.Buffer
+		if err := json.NewEncoder(&std).Encode(r); err != nil {
+			t.Fatal(err)
+		}
+		var fast bytes.Buffer
+		enc := telem.NewEncoder(&fast)
+		encodeRecord(enc, &r)
+		if enc.Flush(); enc.Err() != nil {
+			t.Fatal(enc.Err())
+		}
+		if !bytes.Equal(fast.Bytes(), std.Bytes()) {
+			t.Errorf("ctl record drifted from stdlib:\nstdlib: %stelemetry: %s", std.Bytes(), fast.Bytes())
+		}
+	}
+}

@@ -568,8 +568,10 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 		}
 	}
 	stallWindow := sim.Time(50 * p.FrameDelayS)
-	var watch func()
-	watch = func() {
+	// The watchdog re-arms through one reusable Event (Bind+Reschedule)
+	// so a long run costs no allocation per tick.
+	var watchEv sim.Event
+	watch := func() {
 		allDead := true
 		anyDead := false
 		for _, n := range nodes {
@@ -587,9 +589,10 @@ func buildPipeline(p Params, stages []stageSetup, opts pipelineOpts) *Rig {
 			rig.Finish()
 			return
 		}
-		k.After(sim.Duration(10*p.FrameDelayS), watch)
+		k.Reschedule(&watchEv, k.Now()+sim.Time(10*p.FrameDelayS))
 	}
-	k.After(sim.Duration(10*p.FrameDelayS), watch)
+	watchEv.Bind(watch)
+	k.Reschedule(&watchEv, k.Now()+sim.Time(10*p.FrameDelayS))
 	return rig
 }
 
@@ -616,6 +619,20 @@ func (r *Rig) Finish() {
 			})
 		}
 	}
+}
+
+// Release tears the rig down and returns its recyclable simulation
+// state — parked processes, rendezvous offers, frame-job carriers — to
+// the process-wide pools, so the next run warm-starts instead of
+// re-allocating its working set. Call it exactly once, after every
+// outcome, record or trace has been extracted; the rig is unusable
+// afterwards. Long-lived callers that run many experiments in one
+// process (sweeps, the service layer, Monte Carlo forks) depend on this
+// for steady-state zero-allocation behavior.
+func (r *Rig) Release() {
+	r.K.Shutdown()
+	r.Net.Release()
+	r.Host.Release()
 }
 
 // outcome extracts the paper's metrics after the run.
@@ -664,11 +681,13 @@ func runPipeline(id ID, p Params, stages []stageSetup, opts pipelineOpts) Outcom
 		rig := buildPipeline(p, stages, opts)
 		rig.Start()
 		rig.K.Run()
-		return rig.outcome(id, p)
+		out := rig.outcome(id, p)
+		rig.Release()
+		return out
 	}
 	opts.trace = true
 	opts.instrument = true
-	rc := &recorder{telemetry: true}
+	rc := newRecorder(true, estimateRecords(p, len(stages), 0, true))
 	rc.hooks(&opts)
 	rig := buildPipeline(p, stages, opts)
 	rc.attach(rig)
@@ -676,7 +695,9 @@ func runPipeline(id ID, p Params, stages []stageSetup, opts pipelineOpts) Outcom
 	rig.K.Run()
 	records := rc.collect(rig)
 	out := rig.outcome(id, p)
+	rig.Release()
 	out.Violations = evalAssertions(eng, records)
+	rc.release()
 	out.AssertionsRun = eng.Evaluated()
 	out.ViolationTotal = eng.Total()
 	return out
@@ -800,6 +821,7 @@ func RunTraced(id ID, p Params, until float64) [][]node.ModeSpan {
 		out[i] = n.Power().Trace()
 	}
 	rig.K.Stop()
+	rig.Release()
 	return out
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"dvsim/internal/assert"
 	"dvsim/internal/battery"
@@ -95,13 +94,13 @@ func runFleet(label string, p Params, g *topology.Graph, opts Options) Outcome {
 	var rc *recorder
 	onGovern := opts.OnGovern
 	if eng != nil {
-		rc = &recorder{telemetry: true}
+		rc = newRecorder(true, estimateRecords(p, len(g.Nodes), float64(opts.MaxFrames)*p.FrameDelayS, true))
 		popts := pipelineOpts{onGovern: opts.OnGovern}
 		rc.hooks(&popts)
 		onGovern = popts.onGovern
 		net.OnTransfer = popts.onTransfer
 		net.OnRetry = func(ev serial.RetryEvent) {
-			rc.records = append(rc.records, LogRecord{
+			rc.retry = append(rc.retry, LogRecord{
 				T: float64(ev.T), Event: "retry",
 				From: ev.From, To: ev.To,
 				Kind: ev.Kind.String(), Frame: ev.Frame,
@@ -111,7 +110,7 @@ func runFleet(label string, p Params, g *topology.Graph, opts Options) Outcome {
 		}
 		if inj != nil {
 			inj.OnFault = func(ev fault.Event) {
-				rc.records = append(rc.records, LogRecord{
+				rc.fault = append(rc.fault, LogRecord{
 					T: float64(ev.T), Event: "fault", Fault: ev.Kind,
 					Node: ev.Node, From: ev.From, To: ev.To,
 					Kind: ev.MsgKind, Frame: ev.Frame,
@@ -193,10 +192,10 @@ func runFleet(label string, p Params, g *topology.Graph, opts Options) Outcome {
 			lastResult = k.Now()
 			if rc != nil {
 				t := float64(k.Now())
-				rc.records = append(rc.records, LogRecord{
+				rc.result = append(rc.result, LogRecord{
 					T: t, Event: "result", Frame: msg.Frame, From: msg.From,
 				})
-				rc.records = append(rc.records, LogRecord{
+				rc.latency = append(rc.latency, LogRecord{
 					T: t, Event: "latency", Frame: msg.Frame, From: msg.From,
 					Value: t - float64(msg.Frame)*p.FrameDelayS,
 				})
@@ -275,6 +274,7 @@ func runFleet(label string, p Params, g *topology.Graph, opts Options) Outcome {
 	if eng != nil {
 		records := collectFleet(rc, workers, reg)
 		out.Violations = evalAssertions(eng, records)
+		rc.release()
 		out.AssertionsRun = eng.Evaluated()
 		out.ViolationTotal = eng.Total()
 	}
@@ -282,13 +282,14 @@ func runFleet(label string, p Params, g *topology.Graph, opts Options) Outcome {
 }
 
 // collectFleet finalizes a fleet run's record stream — mode traces,
-// deaths, sampler series, canonical sort — the worker-engine
-// counterpart of recorder.collect.
+// deaths, sampler series, then the canonical ordered merge — the
+// worker-engine counterpart of recorder.collect.
 func collectFleet(rc *recorder, workers []*node.Worker, reg *metrics.Registry) []LogRecord {
 	for _, w := range workers {
+		lo := len(rc.scratch)
 		w.Power().Finish()
 		for _, span := range w.Power().Trace() {
-			rc.records = append(rc.records, LogRecord{
+			rc.scratch = append(rc.scratch, LogRecord{
 				T:     float64(span.Start),
 				End:   float64(span.End),
 				Event: "mode",
@@ -298,23 +299,25 @@ func collectFleet(rc *recorder, workers []*node.Worker, reg *metrics.Registry) [
 			})
 		}
 		if w.DeadAt > 0 {
-			rc.records = append(rc.records, LogRecord{
+			rc.scratch = append(rc.scratch, LogRecord{
 				T: float64(w.DeadAt), Event: "death", Node: w.Name,
 			})
 		}
+		rc.ranges = append(rc.ranges, streamRange{lo, len(rc.scratch)})
 	}
 	if reg != nil {
 		for _, s := range reg.Snapshot().Series {
+			lo := len(rc.scratch)
 			for _, pt := range s.Samples {
-				rc.records = append(rc.records, LogRecord{
+				rc.scratch = append(rc.scratch, LogRecord{
 					T: float64(pt.T), Event: "sample",
 					Node: s.Node, Metric: s.Name, Value: pt.V,
 				})
 			}
+			rc.ranges = append(rc.ranges, streamRange{lo, len(rc.scratch)})
 		}
 	}
-	sort.SliceStable(rc.records, func(i, j int) bool { return lessRecord(rc.records[i], rc.records[j]) })
-	return rc.records
+	return rc.finalize()
 }
 
 // workerStat mirrors statOf for fleet workers; the ring-only fields

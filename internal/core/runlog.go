@@ -2,10 +2,10 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"dvsim/internal/assert"
 	"dvsim/internal/fault"
@@ -13,6 +13,7 @@ import (
 	"dvsim/internal/host"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
+	telem "dvsim/internal/telemetry"
 )
 
 // Structured run logging: every observable event of a (bounded) run as
@@ -68,7 +69,10 @@ type LogRecord struct {
 	// Queue is a govern event's observed inbound backlog.
 	Queue int `json:"queue,omitempty"`
 	// Ctl carries a govern event's controller terms (governor.Terms).
-	Ctl []float64 `json:"ctl,omitempty"`
+	// The fixed-size array spares one heap allocation per govern event;
+	// omitzero drops it when all three terms are zero, exactly as
+	// omitempty dropped the empty slice.
+	Ctl [3]float64 `json:"ctl,omitzero"`
 	// Assert names a violation event's failed invariant; Detail is its
 	// deterministic account and Bound the limit the observed Value
 	// broke (see internal/assert).
@@ -144,9 +148,83 @@ func lessRecord(a, b LogRecord) bool {
 // after it; collect finalizes the stream in deterministic order. It is
 // the shared substrate of RunLogged/RunTelemetry and assertion-checked
 // runs.
+//
+// Records land in per-source buckets, one per event kind: the kernel
+// fires events in time order, so each bucket is (near-)sorted under
+// lessRecord as it is built, and collect finalizes with an O(n·sources)
+// ordered merge instead of a global sort. The buckets and the merged
+// slab are recycled through a process-wide pool — a long-lived host
+// (the simulation server, sweeps, Monte Carlo forks) re-runs telemetry
+// with a warm record store and allocates nothing per record.
 type recorder struct {
-	records   []LogRecord
 	telemetry bool
+	// Runtime buckets, appended by the hooks as the simulation runs.
+	govern  []LogRecord
+	fault   []LogRecord
+	retry   []LogRecord
+	link    []LogRecord
+	latency []LogRecord
+	result  []LogRecord
+	// scratch assembles the post-run streams (per-node mode spans and
+	// deaths, per-series samples); ranges delimits each stream within it.
+	scratch []LogRecord
+	ranges  []streamRange
+	// merged is the final ordered slab handed to the caller; streams and
+	// cursor are merge scratch state.
+	merged  []LogRecord
+	streams [][]LogRecord
+	cursor  []int
+}
+
+// streamRange delimits one merge stream inside recorder.scratch.
+type streamRange struct{ lo, hi int }
+
+// recorderPool recycles record stores across runs.
+var recorderPool sync.Pool
+
+// newRecorder returns a pooled (or fresh) recorder with the merged slab
+// pre-sized to capHint records.
+func newRecorder(telemetry bool, capHint int) *recorder {
+	rc, _ := recorderPool.Get().(*recorder)
+	if rc == nil {
+		rc = &recorder{}
+	}
+	rc.telemetry = telemetry
+	if cap(rc.merged) < capHint {
+		rc.merged = make([]LogRecord, 0, capHint)
+	}
+	return rc
+}
+
+// release clears the record store and returns it to the pool. The
+// caller must be done with every slice obtained from collect — the
+// backing arrays are recycled into the next run's recorder.
+func (rc *recorder) release() {
+	for _, b := range [][]LogRecord{rc.govern, rc.fault, rc.retry, rc.link, rc.latency, rc.result, rc.scratch, rc.merged} {
+		clear(b) // drop string references
+	}
+	rc.govern, rc.fault, rc.retry = rc.govern[:0], rc.fault[:0], rc.retry[:0]
+	rc.link, rc.latency, rc.result = rc.link[:0], rc.latency[:0], rc.result[:0]
+	rc.scratch, rc.merged = rc.scratch[:0], rc.merged[:0]
+	rc.ranges = rc.ranges[:0]
+	clear(rc.streams)
+	rc.streams = rc.streams[:0]
+	rc.cursor = rc.cursor[:0]
+	recorderPool.Put(rc)
+}
+
+// estimateRecords sizes the merged slab from the experiment shape: per
+// frame each node contributes a handful of mode spans and link/result
+// events, and the samplers add one record per period per series.
+func estimateRecords(p Params, nodes int, until float64, telemetry bool) int {
+	frames := int(until/p.FrameDelayS) + 1
+	est := frames * (3*nodes + 2)
+	if telemetry {
+		est += frames * (2*nodes + 2)
+		period := DefaultSamplePeriodS
+		est += int(until/period+1) * (4*nodes + 1)
+	}
+	return est + 256
 }
 
 // hooks chains the pre-build observers into opts, preserving any the
@@ -157,11 +235,11 @@ func (rc *recorder) hooks(opts *pipelineOpts) {
 		if prevGov != nil {
 			prevGov(nodeName, ev)
 		}
-		rc.records = append(rc.records, LogRecord{
+		rc.govern = append(rc.govern, LogRecord{
 			T: ev.Obs.NowS, Event: "govern", Node: nodeName,
 			Frame: ev.Frame, FromMHz: ev.From.FreqMHz, MHz: ev.To.FreqMHz,
 			Value: ev.Obs.SlackS, Queue: ev.Obs.QueueIn,
-			Ctl: []float64{ev.Terms[0], ev.Terms[1], ev.Terms[2]},
+			Ctl: ev.Terms,
 		})
 	}
 	if rc.telemetry {
@@ -170,7 +248,7 @@ func (rc *recorder) hooks(opts *pipelineOpts) {
 			if prevTransfer != nil {
 				prevTransfer(ev)
 			}
-			rc.records = append(rc.records, LogRecord{
+			rc.link = append(rc.link, LogRecord{
 				T: float64(ev.T), Event: "link",
 				From: ev.From, To: ev.To,
 				Kind: ev.Kind.String(), KB: ev.KB, DurS: ev.DurS,
@@ -186,7 +264,7 @@ func (rc *recorder) attach(rig *Rig) {
 	if rc.telemetry {
 		if rig.Injector != nil {
 			rig.Injector.OnFault = func(ev fault.Event) {
-				rc.records = append(rc.records, LogRecord{
+				rc.fault = append(rc.fault, LogRecord{
 					T: float64(ev.T), Event: "fault", Fault: ev.Kind,
 					Node: ev.Node, From: ev.From, To: ev.To,
 					Kind: ev.MsgKind, Frame: ev.Frame,
@@ -194,7 +272,7 @@ func (rc *recorder) attach(rig *Rig) {
 			}
 		}
 		rig.Net.OnRetry = func(ev serial.RetryEvent) {
-			rc.records = append(rc.records, LogRecord{
+			rc.retry = append(rc.retry, LogRecord{
 				T: float64(ev.T), Event: "retry",
 				From: ev.From, To: ev.To,
 				Kind: ev.Kind.String(), Frame: ev.Frame,
@@ -209,11 +287,11 @@ func (rc *recorder) attach(rig *Rig) {
 		if prevResult != nil {
 			prevResult(r)
 		}
-		rc.records = append(rc.records, LogRecord{
+		rc.result = append(rc.result, LogRecord{
 			T: float64(r.At), Event: "result", Frame: r.Frame, From: r.From,
 		})
 		if rc.telemetry {
-			rc.records = append(rc.records, LogRecord{
+			rc.latency = append(rc.latency, LogRecord{
 				T: float64(r.At), Event: "latency", Frame: r.Frame,
 				From: r.From, Value: host0.Latency(r),
 			})
@@ -222,12 +300,20 @@ func (rc *recorder) attach(rig *Rig) {
 }
 
 // collect finalizes the record stream after the run: node mode traces
-// and deaths, the sampler series, then the canonical sort.
+// and deaths and the sampler series are gathered as further per-source
+// streams, every stream is verified (or restored) to lessRecord order,
+// and one ordered merge produces the canonical stream — O(n·sources)
+// instead of the global O(n log n) sort it replaces. The result aliases
+// the recorder's pooled slab; it is valid until release.
 func (rc *recorder) collect(rig *Rig) []LogRecord {
+	// Per-node stream: mode spans (chronological by construction), then
+	// the death record, whose rank sorts it after a span starting at the
+	// same instant.
 	for _, n := range rig.Nodes {
+		lo := len(rc.scratch)
 		n.Power().Finish()
 		for _, span := range n.Power().Trace() {
-			rc.records = append(rc.records, LogRecord{
+			rc.scratch = append(rc.scratch, LogRecord{
 				T:     float64(span.Start),
 				End:   float64(span.End),
 				Event: "mode",
@@ -237,28 +323,94 @@ func (rc *recorder) collect(rig *Rig) []LogRecord {
 			})
 		}
 		if n.DeadAt > 0 {
-			rc.records = append(rc.records, LogRecord{
+			rc.scratch = append(rc.scratch, LogRecord{
 				T: float64(n.DeadAt), Event: "death", Node: n.Name,
 			})
 		}
+		rc.ranges = append(rc.ranges, streamRange{lo, len(rc.scratch)})
 	}
+	// Per-series stream: one sampler's points are strictly time-ordered.
 	if rc.telemetry && rig.Metrics != nil {
 		for _, s := range rig.Metrics.Snapshot().Series {
+			lo := len(rc.scratch)
 			for _, pt := range s.Samples {
-				rc.records = append(rc.records, LogRecord{
+				rc.scratch = append(rc.scratch, LogRecord{
 					T: float64(pt.T), Event: "sample",
 					Node: s.Node, Metric: s.Name, Value: pt.V,
 				})
 			}
+			rc.ranges = append(rc.ranges, streamRange{lo, len(rc.scratch)})
 		}
 	}
-	sort.SliceStable(rc.records, func(i, j int) bool { return lessRecord(rc.records[i], rc.records[j]) })
-	return rc.records
+	return rc.finalize()
+}
+
+// finalize materializes the merge streams — the scratch ranges plus the
+// runtime buckets — restores any stream that lost lessRecord order, and
+// merges them into the canonical record stream. Streams materialize
+// only after scratch stops growing (append may move the backing array).
+func (rc *recorder) finalize() []LogRecord {
+	rc.streams = rc.streams[:0]
+	for _, rg := range rc.ranges {
+		rc.streams = append(rc.streams, rc.scratch[rg.lo:rg.hi])
+	}
+	rc.streams = append(rc.streams, rc.govern, rc.fault, rc.retry, rc.link, rc.latency, rc.result)
+	for _, s := range rc.streams {
+		ensureOrdered(s)
+	}
+	rc.merged = mergeRecords(rc.merged[:0], rc.streams, &rc.cursor)
+	return rc.merged
+}
+
+// ensureOrdered restores lessRecord order within one stream. Streams
+// are sorted by construction in all known cases (the check is one linear
+// pass); the stable sort is a correctness net for same-instant records
+// whose bucket-internal keys disagree with arrival order.
+func ensureOrdered(s []LogRecord) {
+	for i := 1; i < len(s); i++ {
+		if lessRecord(s[i], s[i-1]) {
+			sort.SliceStable(s, func(a, b int) bool { return lessRecord(s[a], s[b]) })
+			return
+		}
+	}
+}
+
+// mergeRecords k-way-merges the sorted streams into dst. Ties pick the
+// earliest stream, making the merge stable in stream order; cursor is
+// reusable scratch for the per-stream positions.
+func mergeRecords(dst []LogRecord, streams [][]LogRecord, cursor *[]int) []LogRecord {
+	idx := (*cursor)[:0]
+	total := 0
+	for _, s := range streams {
+		idx = append(idx, 0)
+		total += len(s)
+	}
+	*cursor = idx
+	for len(dst) < total {
+		best := -1
+		for si, s := range streams {
+			if idx[si] >= len(s) {
+				continue
+			}
+			if best < 0 || lessRecord(s[idx[si]], streams[best][idx[best]]) {
+				best = si
+			}
+		}
+		dst = append(dst, streams[best][idx[best]])
+		idx[best]++
+	}
+	return dst
 }
 
 // recordView converts a LogRecord to the assertion engine's mirrored
-// view; field order follows the struct.
+// view; field order follows the struct. The engine's Ctl stays a slice;
+// a record without controller terms maps to nil, as before the array
+// representation.
 func recordView(r LogRecord) assert.Record {
+	var ctl []float64
+	if r.Ctl != ([3]float64{}) {
+		ctl = r.Ctl[:]
+	}
 	return assert.Record{
 		T: r.T, Event: r.Event, Node: r.Node,
 		Mode: r.Mode, MHz: r.MHz, End: r.End,
@@ -266,7 +418,7 @@ func recordView(r LogRecord) assert.Record {
 		Metric: r.Metric, Value: r.Value,
 		Kind: r.Kind, KB: r.KB, DurS: r.DurS,
 		Fault: r.Fault, Attempt: r.Attempt,
-		FromMHz: r.FromMHz, Queue: r.Queue, Ctl: r.Ctl,
+		FromMHz: r.FromMHz, Queue: r.Queue, Ctl: ctl,
 		Assert: r.Assert, Detail: r.Detail, Bound: r.Bound,
 	}
 }
@@ -333,23 +485,71 @@ func RunTelemetryContext(ctx context.Context, id ID, p Params, until float64, w 
 }
 
 func writeRunLog(ctx context.Context, id ID, p Params, until float64, w io.Writer, telemetry bool) (int, error) {
-	records, err := collectRunLogContext(ctx, id, p, until, telemetry)
+	return writeRunLogWith(ctx, id, p, until, w, telemetry, nil)
+}
+
+// writeRunLogWith is writeRunLog with an optional mid-run capture hook
+// (see runLogCapture); Snapshot.Fork uses it to verify warm-point state.
+func writeRunLogWith(ctx context.Context, id ID, p Params, until float64, w io.Writer, telemetry bool, hook *runLogCapture) (int, error) {
+	records, rc, err := collectRunLogWith(ctx, id, p, until, telemetry, hook)
 	if err != nil {
 		return 0, err
 	}
-	enc := json.NewEncoder(w)
-	for _, r := range records {
-		if err := enc.Encode(r); err != nil {
-			return 0, err
+	enc := telem.NewEncoder(w)
+	for i := range records {
+		encodeRecord(enc, &records[i])
+		if enc.Err() != nil {
+			break
 		}
 	}
-	return len(records), nil
+	enc.Flush()
+	if rc != nil {
+		rc.release()
+	}
+	// On a mid-stream write failure the count is the number of records
+	// whose bytes fully reached w, not zero — the caller knows how much
+	// of the log is intact.
+	return enc.Flushed(), enc.Err()
+}
+
+// encodeRecord appends one record in LogRecord's field order with the
+// struct tags' omitempty/omitzero semantics, byte-identical to
+// encoding/json (see internal/telemetry).
+func encodeRecord(enc *telem.Encoder, r *LogRecord) {
+	enc.Begin()
+	enc.Float("t", r.T)
+	enc.Str("event", r.Event)
+	enc.StrOmit("node", r.Node)
+	enc.StrOmit("mode", r.Mode)
+	enc.FloatOmit("mhz", r.MHz)
+	enc.FloatOmit("end", r.End)
+	enc.IntOmit("frame", r.Frame)
+	enc.StrOmit("from", r.From)
+	enc.StrOmit("to", r.To)
+	enc.StrOmit("metric", r.Metric)
+	enc.FloatOmit("value", r.Value)
+	enc.StrOmit("kind", r.Kind)
+	enc.FloatOmit("kb", r.KB)
+	enc.FloatOmit("dur_s", r.DurS)
+	enc.StrOmit("fault", r.Fault)
+	enc.IntOmit("attempt", r.Attempt)
+	enc.FloatOmit("from_mhz", r.FromMHz)
+	enc.IntOmit("queue", r.Queue)
+	if r.Ctl != ([3]float64{}) {
+		enc.Floats("ctl", r.Ctl[:])
+	}
+	enc.StrOmit("assert", r.Assert)
+	enc.StrOmit("detail", r.Detail)
+	enc.FloatOmit("bound", r.Bound)
+	enc.End()
 }
 
 // collectRunLog runs the bounded window and gathers the records in
-// deterministic order.
+// deterministic order. The recorder is not pooled on this path: the
+// returned records stay valid indefinitely.
 func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord, error) {
-	return collectRunLogContext(context.Background(), id, p, until, telemetry)
+	records, _, err := collectRunLogContext(context.Background(), id, p, until, telemetry)
+	return records, err
 }
 
 // cancelPollEvents is how many kernel events run between context polls
@@ -358,21 +558,42 @@ func collectRunLog(id ID, p Params, until float64, telemetry bool) ([]LogRecord,
 // abandon a run within milliseconds of cancellation.
 const cancelPollEvents = 4096
 
-func collectRunLogContext(ctx context.Context, id ID, p Params, until float64, telemetry bool) ([]LogRecord, error) {
+// runLogCapture pauses a bounded run at a chosen instant: the kernel
+// halts after every event with time ≤ atS has fired (RunUntil leaves
+// the queue intact), fn reads the rig, and the run resumes to its
+// horizon. Because fn only observes — it must schedule no events and
+// mutate no simulation state — the split run is byte-identical to an
+// uninterrupted one; a non-nil error from fn abandons the run.
+type runLogCapture struct {
+	atS float64
+	fn  func(*Rig) error
+}
+
+// collectRunLogContext runs the bounded window and gathers the records
+// in deterministic order. The returned records alias the returned
+// recorder's pooled slab; a caller done with them should release the
+// recorder (a nil recorder — the error paths — needs no release).
+func collectRunLogContext(ctx context.Context, id ID, p Params, until float64, telemetry bool) ([]LogRecord, *recorder, error) {
+	return collectRunLogWith(ctx, id, p, until, telemetry, nil)
+}
+
+// collectRunLogWith is collectRunLogContext with an optional mid-run
+// capture hook.
+func collectRunLogWith(ctx context.Context, id ID, p Params, until float64, telemetry bool, hook *runLogCapture) ([]LogRecord, *recorder, error) {
 	if until <= 0 {
-		return nil, fmt.Errorf("core: non-positive log window %v", until)
+		return nil, nil, fmt.Errorf("core: non-positive log window %v", until)
 	}
 	switch id {
 	case Exp1, Exp1A, Exp2, Exp2A, Exp2B, Exp2C, Exp2D:
 	default:
-		return nil, fmt.Errorf("core: experiment %q cannot be event-logged (pipeline experiments 1…2D only)", id)
+		return nil, nil, fmt.Errorf("core: experiment %q cannot be event-logged (pipeline experiments 1…2D only)", id)
 	}
 	eng, err := assert.New(p.Assertions)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	stages, opts := stagesFor(id, p)
 	opts.trace = true
@@ -380,7 +601,7 @@ func collectRunLogContext(ctx context.Context, id ID, p Params, until float64, t
 	if p.Faults != nil {
 		opts.faults = p.Faults
 	}
-	rc := &recorder{telemetry: telemetry}
+	rc := newRecorder(telemetry, estimateRecords(p, len(stages), until, telemetry))
 	rc.hooks(&opts)
 	rig := buildPipeline(p, stages, opts)
 	rc.attach(rig)
@@ -388,21 +609,39 @@ func collectRunLogContext(ctx context.Context, id ID, p Params, until float64, t
 		rig.K.SetCancelCheck(cancelPollEvents, func() bool { return ctx.Err() != nil })
 	}
 	rig.Start()
+	if hook != nil && hook.atS > 0 && hook.atS <= until {
+		rig.K.RunUntil(sim.Time(hook.atS))
+		err := ctx.Err()
+		if err == nil {
+			err = hook.fn(rig)
+		}
+		if err != nil {
+			rig.Release()
+			rc.release()
+			return nil, nil, err
+		}
+	}
 	rig.K.RunUntil(sim.Time(until))
 	if err := ctx.Err(); err != nil {
-		rig.K.Shutdown()
-		return nil, err
+		rig.Release()
+		rc.release()
+		return nil, nil, err
 	}
 	records := rc.collect(rig)
-	// Release the rig's process goroutines: a long-running host (the
-	// simulation server) would otherwise strand a pipeline's worth of
-	// parked goroutines on every bounded run.
-	rig.K.Shutdown()
+	// Release the rig: a long-running host (the simulation server) would
+	// otherwise strand a pipeline's worth of parked goroutines — and
+	// re-allocate every offer and frame job — on every bounded run.
+	rig.Release()
 
 	if eng != nil {
 		vio := evalAssertions(eng, records)
-		records = append(records, violationRecords(vio)...)
-		sort.SliceStable(records, func(i, j int) bool { return lessRecord(records[i], records[j]) })
+		if len(vio) > 0 {
+			vr := violationRecords(vio)
+			ensureOrdered(vr)
+			merged := make([]LogRecord, 0, len(records)+len(vr))
+			var cursor []int
+			records = mergeRecords(merged, [][]LogRecord{records, vr}, &cursor)
+		}
 	}
-	return records, nil
+	return records, rc, nil
 }

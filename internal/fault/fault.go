@@ -37,6 +37,13 @@ type Scenario struct {
 	// Seed drives the probabilistic link faults. Two runs with the same
 	// seed (and platform) see identical fault sequences.
 	Seed uint64 `json:"seed"`
+	// ReseedAtS, when > 0, replaces the link-fault stream at that
+	// simulated instant with a fresh splitmix64 stream seeded by
+	// ReseedSeed. It is the Monte Carlo forking hook (core.Snapshot):
+	// runs sharing Seed are identical up to the reseed point and diverge
+	// deterministically per ReseedSeed after it.
+	ReseedAtS  float64 `json:"reseed_at_s,omitempty"`
+	ReseedSeed uint64  `json:"reseed_seed,omitempty"`
 	// Retry, when non-nil, overrides the platform's retransmit policy.
 	Retry *serial.RetryPolicy `json:"retry,omitempty"`
 	// Links are the link-fault rules, consulted in order; the first
@@ -95,6 +102,9 @@ func (sc *Scenario) Validate() error {
 		if err := sc.Retry.Validate(); err != nil {
 			return err
 		}
+	}
+	if sc.ReseedAtS < 0 {
+		return fmt.Errorf("fault: negative reseed time %v", sc.ReseedAtS)
 	}
 	for i, lf := range sc.Links {
 		if lf.DropRate < 0 || lf.DropRate > 1 || lf.GarbleRate < 0 || lf.GarbleRate > 1 {

@@ -44,7 +44,8 @@ type Injector struct {
 	// the simulation runs.
 	OnFault func(Event)
 
-	stats Stats
+	stats    Stats
+	reseeded bool
 }
 
 // linkCursor indexes the next unconsumed scheduled fault of a rule.
@@ -99,6 +100,13 @@ func (lf *LinkFault) active(t sim.Time) bool {
 func (in *Injector) Transfer(now sim.Time, from, to string, msg serial.Message) serial.FaultVerdict {
 	if in == nil {
 		return serial.FaultNone
+	}
+	// Monte Carlo forking: from the reseed instant on, draws come from
+	// the fork's stream. Transfers are decided in simulation order, so
+	// the switch happens at the same transfer in every replay.
+	if !in.reseeded && in.sc.ReseedAtS > 0 && float64(now) >= in.sc.ReseedAtS {
+		in.rng = newRNG(in.sc.ReseedSeed)
+		in.reseeded = true
 	}
 	for i := range in.sc.Links {
 		lf := &in.sc.Links[i]

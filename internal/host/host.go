@@ -5,6 +5,8 @@
 package host
 
 import (
+	"sync"
+
 	"dvsim/internal/metrics"
 	"dvsim/internal/serial"
 	"dvsim/internal/sim"
@@ -75,6 +77,13 @@ type Host struct {
 	OnResult func(Result)
 
 	stopped bool
+	// freeJobs heads the free list of recycled frame-delivery jobs.
+	freeJobs *frameJob
+	// jobs registers every job this host ever obtained, free or in
+	// flight, so Release can return all of them to the process-wide pool
+	// (a job whose process was killed mid-send never reaches the free
+	// list on its own).
+	jobs []*frameJob
 }
 
 // New returns a host on the network. Configure the exported fields, then
@@ -157,29 +166,91 @@ func (h *Host) runSource(p *sim.Proc) {
 		h.queueDepth.Set(float64(q))
 		// Deliver from a dedicated process so pacing never blocks on a
 		// busy node; the port preserves posting order. The process is
-		// detached: nothing observes it, so the kernel may recycle it.
-		frame := frame
-		h.k.SpawnDetached("host-frame", func(p *sim.Proc) {
-			msg := serial.Message{
-				Kind:  serial.KindFrame,
-				Frame: frame,
-				KB:    h.FrameKB,
-			}
-			if h.MakeFrame != nil {
-				msg.Payload = h.MakeFrame(frame)
-			}
-			err := h.srcPort.SendReliable(p, target, msg, serial.TxOpts{}, h.Retry)
-			switch {
-			case err == nil:
-				h.FramesSent++
-				h.sentCtr.Inc()
-			case serial.IsFault(err):
-				// The wire ate the frame past the retransmit budget.
-				h.FramesDropped++
-				h.droppedCtr.Inc()
-			}
-		})
+		// detached: nothing observes it, so the kernel may recycle it —
+		// and the job carrier itself is recycled through h.freeJobs, so
+		// a steady-state frame costs no closure allocation either.
+		job := h.getJob(frame, target)
+		h.k.SpawnDetached("host-frame", job.fn)
 	}
+}
+
+// frameJob carries one frame delivery through a detached process. The
+// fn closure is built once per job and closes over the job itself, so
+// recycled jobs reuse it; frame and target are rewritten per delivery.
+type frameJob struct {
+	h      *Host
+	frame  int
+	target *serial.Port
+	fn     func(p *sim.Proc)
+	next   *frameJob
+}
+
+// jobPool recycles frame jobs across hosts (and therefore across runs),
+// so a fresh rig warm-started after a previous run's Release allocates
+// no job carriers at all.
+var jobPool sync.Pool
+
+// getJob pops (or creates) a job configured to deliver frame to target.
+func (h *Host) getJob(frame int, target *serial.Port) *frameJob {
+	j := h.freeJobs
+	if j != nil {
+		h.freeJobs = j.next
+		j.next = nil
+	} else {
+		if v := jobPool.Get(); v != nil {
+			j = v.(*frameJob)
+			j.h = h
+		} else {
+			j = &frameJob{h: h}
+			j.fn = func(p *sim.Proc) { j.deliver(p) }
+		}
+		h.jobs = append(h.jobs, j)
+	}
+	j.frame, j.target = frame, target
+	return j
+}
+
+// Release returns every frame job — free or abandoned in flight — to the
+// process-wide pool. Call only after the kernel has shut down, when no
+// delivery process can still touch a job.
+func (h *Host) Release() {
+	for i, j := range h.jobs {
+		j.h = nil
+		j.target = nil
+		j.next = nil
+		jobPool.Put(j)
+		h.jobs[i] = nil
+	}
+	h.jobs = nil
+	h.freeJobs = nil
+}
+
+// deliver is the detached process body: one reliable frame send. The job
+// returns itself to the free list on completion; a process killed
+// mid-send unwinds past the release and the job is simply dropped.
+func (j *frameJob) deliver(p *sim.Proc) {
+	h := j.h
+	msg := serial.Message{
+		Kind:  serial.KindFrame,
+		Frame: j.frame,
+		KB:    h.FrameKB,
+	}
+	if h.MakeFrame != nil {
+		msg.Payload = h.MakeFrame(j.frame)
+	}
+	err := h.srcPort.SendReliable(p, j.target, msg, serial.TxOpts{}, h.Retry)
+	switch {
+	case err == nil:
+		h.FramesSent++
+		h.sentCtr.Inc()
+	case serial.IsFault(err):
+		// The wire ate the frame past the retransmit budget.
+		h.FramesDropped++
+		h.droppedCtr.Inc()
+	}
+	j.target = nil
+	j.next = h.freeJobs
+	h.freeJobs = j
 }
 
 // pickTarget selects the port to offer the frame to.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dvsim/internal/metrics"
 	"dvsim/internal/sim"
@@ -76,7 +77,17 @@ type Message struct {
 
 // offer is a sender waiting at a receiver's port. The rendezvous
 // channels are embedded values so a send costs one allocation, not
-// three.
+// three — and offers are recycled through the network's free list, so
+// at steady state a send costs none at all.
+//
+// Release discipline (who returns an offer to the pool): the last party
+// that can still touch it. On the success, sender-fault, sender-died and
+// withdrawn-while-accepting paths that is the receiver (RecvOpts); a
+// withdrawn offer nobody accepted is released by take() when a later
+// receive walks over it. A receiver that leaves mid-rendezvous
+// (interrupt/shutdown) releases nothing: the sender may still signal the
+// embedded channels, so that offer is simply abandoned to the GC —
+// bounded by the number of interrupts, not by traffic.
 type offer struct {
 	msg       Message
 	withdrawn bool
@@ -231,6 +242,65 @@ type Network struct {
 	transfers int
 	kbMoved   float64
 	faulted   int
+	// freeOffers is the LIFO free list of recycled offers. Reuse keeps
+	// the embedded rendezvous channels' grown buffers, so steady-state
+	// sends allocate nothing.
+	freeOffers []*offer
+}
+
+// offerPool recycles offers across networks (and therefore across runs):
+// a fresh rig warm-started after a previous network's Release draws its
+// offers — with their grown rendezvous channel buffers — from here.
+var offerPool sync.Pool
+
+// getOffer returns a recycled (or fresh) offer carrying msg, with both
+// rendezvous channels reset.
+func (n *Network) getOffer(msg Message) *offer {
+	var of *offer
+	if ln := len(n.freeOffers); ln > 0 {
+		of = n.freeOffers[ln-1]
+		n.freeOffers[ln-1] = nil
+		n.freeOffers = n.freeOffers[:ln-1]
+	} else if v := offerPool.Get(); v != nil {
+		of = v.(*offer)
+	} else {
+		of = &offer{}
+	}
+	of.msg = msg
+	of.withdrawn = false
+	of.fault = FaultNone
+	of.accepted.Init(n.k, "accepted")
+	of.done.Init(n.k, "done")
+	return of
+}
+
+// putOffer returns an offer to the free list. The caller must be the
+// offer's last toucher (see the offer type comment).
+func (n *Network) putOffer(of *offer) {
+	of.msg = Message{} // drop payload references
+	n.freeOffers = append(n.freeOffers, of)
+}
+
+// Release returns the network's recyclable offers — the free list plus
+// every offer still stranded in a port's pending queue — to the
+// process-wide pool. Call only after the kernel has shut down, when no
+// process can still touch an offer. Offers that were accepted but whose
+// transaction was cut short by shutdown are not pooled (their channels
+// may hold a dangling waiter reference); they fall to the collector.
+func (n *Network) Release() {
+	for _, pt := range n.Ports() {
+		for i, of := range pt.pending {
+			of.msg = Message{}
+			offerPool.Put(of)
+			pt.pending[i] = nil
+		}
+		pt.pending = nil
+	}
+	for i, of := range n.freeOffers {
+		offerPool.Put(of)
+		n.freeOffers[i] = nil
+	}
+	n.freeOffers = nil
 }
 
 // NewNetwork returns a network on kernel k with the given link timing.
@@ -295,9 +365,7 @@ func (pt *Port) SendOpts(p *sim.Proc, dst *Port, msg Message, opts TxOpts) error
 		deadline = sim.Infinity
 	}
 	msg.From = pt.name
-	of := &offer{msg: msg}
-	of.accepted.Init(p.Kernel(), "accepted")
-	of.done.Init(p.Kernel(), "done")
+	of := pt.net.getOffer(msg)
 	dst.pending = append(dst.pending, of)
 	if q := dst.Pending(); q > dst.stats.MaxPending {
 		dst.stats.MaxPending = q
@@ -453,6 +521,7 @@ func (pt *Port) RecvOpts(p *sim.Proc, opts RxOpts) (Message, error) {
 				if err == sim.ErrClosed {
 					// The sender withdrew in the same instant we
 					// accepted; pretend we never saw the offer.
+					pt.net.putOffer(of)
 					continue
 				}
 				if errors.Is(err, sim.ErrTimeout) {
@@ -461,12 +530,15 @@ func (pt *Port) RecvOpts(p *sim.Proc, opts RxOpts) (Message, error) {
 					// To the receiver that is an aborted delivery like
 					// any other — discard it and keep waiting under the
 					// caller's original deadline.
+					pt.net.putOffer(of)
 					pt.accountRxFault(FaultDrop)
 					if opts.OnAbort != nil {
 						opts.OnAbort()
 					}
 					continue
 				}
+				// Leaving mid-rendezvous: the sender may still touch the
+				// offer, so it cannot be recycled here.
 				return Message{}, err
 			}
 			if of.fault != FaultNone {
@@ -474,13 +546,17 @@ func (pt *Port) RecvOpts(p *sim.Proc, opts RxOpts) (Message, error) {
 				// (drop) or failed its integrity check (garble); discard
 				// it and keep waiting under the original deadline. The
 				// sender learns the same instant and may retransmit.
-				pt.accountRxFault(of.fault)
+				fault := of.fault
+				pt.net.putOffer(of)
+				pt.accountRxFault(fault)
 				if opts.OnAbort != nil {
 					opts.OnAbort()
 				}
 				continue
 			}
-			return of.msg, nil
+			msg := of.msg
+			pt.net.putOffer(of)
+			return msg, nil
 		}
 		// Nothing acceptable queued: wait for an arrival signal, then
 		// rescan. Signals are hints — take() above always rescans the
@@ -503,6 +579,7 @@ func (pt *Port) take(match func(Message) bool) *offer {
 		of := pt.pending[i]
 		if of.withdrawn {
 			pt.pending = append(pt.pending[:i], pt.pending[i+1:]...)
+			pt.net.putOffer(of)
 			i--
 			continue
 		}

@@ -7,11 +7,20 @@ package sim
 //
 // Chan models mailbox-style message passing; transport latency belongs to
 // the medium (see internal/serial), not the mailbox.
+//
+// Both internal queues are ring-less head-indexed slices: pops advance a
+// head cursor instead of re-slicing, so the buffer's capacity survives
+// drain/refill cycles and steady-state operation never re-allocates.
+// (A `q = q[1:]` pop strands the popped element's capacity behind the
+// slice and forces append to grow a fresh array every cycle — this was
+// the single largest allocation source in the experiment hot path.)
 type Chan[T any] struct {
 	k      *Kernel
 	name   string
 	queue  []T
+	qhead  int
 	recvrs []waiterRef
+	rhead  int
 	closed bool
 }
 
@@ -20,23 +29,47 @@ func NewChan[T any](k *Kernel, name string) *Chan[T] {
 	return &Chan[T]{k: k, name: name}
 }
 
-// Init prepares a zero Chan value in place, for embedding channels in
-// larger structures without one allocation per channel. It must be called
-// before any other method; reinitializing a channel in use is not
-// supported.
+// Init prepares a Chan value in place, for embedding channels in larger
+// structures without one allocation per channel. It fully resets the
+// channel's state while keeping any previously grown buffer capacity, so
+// pooled owners (see internal/serial's offer free list) can recycle
+// embedded channels. It must not be called on a channel with blocked
+// receivers.
 func (c *Chan[T]) Init(k *Kernel, name string) {
 	c.k = k
 	c.name = name
+	clear(c.queue)
+	c.queue = c.queue[:0]
+	c.qhead = 0
+	clear(c.recvrs)
+	c.recvrs = c.recvrs[:0]
+	c.rhead = 0
+	c.closed = false
 }
 
 // Name returns the channel's diagnostic name.
 func (c *Chan[T]) Name() string { return c.name }
 
 // Len returns the number of queued (sent but not received) values.
-func (c *Chan[T]) Len() int { return len(c.queue) }
+func (c *Chan[T]) Len() int { return len(c.queue) - c.qhead }
 
 // Closed reports whether Close has been called.
 func (c *Chan[T]) Closed() bool { return c.closed }
+
+// popQueue removes and returns the oldest queued value. The slot is
+// zeroed so popped values do not pin garbage, and the buffer is rewound
+// once drained so its capacity is reused by the next fill.
+func (c *Chan[T]) popQueue() T {
+	v := c.queue[c.qhead]
+	var zero T
+	c.queue[c.qhead] = zero
+	c.qhead++
+	if c.qhead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	}
+	return v
+}
 
 // Send enqueues v, waking the longest-blocked receiver if one exists.
 // Send never blocks. Sending on a closed channel panics, as with Go
@@ -58,7 +91,7 @@ func (c *Chan[T]) Close() {
 	c.closed = true
 	// Wake every blocked receiver: those beyond the queued values will
 	// observe the closure.
-	for range c.recvrs {
+	for len(c.recvrs) > c.rhead {
 		c.wakeOne(ErrClosed)
 	}
 }
@@ -66,9 +99,14 @@ func (c *Chan[T]) Close() {
 // wakeOne delivers to the longest-blocked live waiter, if any. Waiters
 // whose episode lapsed (receiver timed out or moved on) are skipped.
 func (c *Chan[T]) wakeOne(err error) {
-	for len(c.recvrs) > 0 {
-		w := c.recvrs[0]
-		c.recvrs = c.recvrs[1:]
+	for len(c.recvrs) > c.rhead {
+		w := c.recvrs[c.rhead]
+		c.recvrs[c.rhead] = waiterRef{}
+		c.rhead++
+		if c.rhead == len(c.recvrs) {
+			c.recvrs = c.recvrs[:0]
+			c.rhead = 0
+		}
 		if w.p.deliverAt(w.seq, wakeMsg{err: err}) {
 			return
 		}
@@ -79,9 +117,13 @@ func (c *Chan[T]) wakeOne(err error) {
 // FIFO order. Receivers that leave with an error remove themselves so
 // the waiter list holds only parked processes.
 func (c *Chan[T]) dropWaiter(p *Proc, seq uint64) {
-	for i := range c.recvrs {
+	for i := c.rhead; i < len(c.recvrs); i++ {
 		if c.recvrs[i].p == p && c.recvrs[i].seq == seq {
 			c.recvrs = append(c.recvrs[:i], c.recvrs[i+1:]...)
+			if c.rhead == len(c.recvrs) {
+				c.recvrs = c.recvrs[:0]
+				c.rhead = 0
+			}
 			return
 		}
 	}
@@ -104,10 +146,8 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (T, error) {
 func (c *Chan[T]) RecvDeadline(p *Proc, deadline Time) (T, error) {
 	var zero T
 	for {
-		if len(c.queue) > 0 {
-			v := c.queue[0]
-			c.queue = c.queue[1:]
-			return v, nil
+		if c.Len() > 0 {
+			return c.popQueue(), nil
 		}
 		if c.closed {
 			return zero, ErrClosed
@@ -131,7 +171,7 @@ func (c *Chan[T]) RecvDeadline(p *Proc, deadline Time) (T, error) {
 			// so nothing is lost — but a wake consumed by a dying waiter
 			// must be passed on.
 			c.dropWaiter(p, seq)
-			if len(c.queue) > 0 {
+			if c.Len() > 0 {
 				c.wakeOne(nil)
 			}
 			return zero, msg.err
@@ -143,11 +183,9 @@ func (c *Chan[T]) RecvDeadline(p *Proc, deadline Time) (T, error) {
 // TryRecv returns a queued value without blocking. ok is false when the
 // queue is empty.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.queue) == 0 {
+	if c.Len() == 0 {
 		var zero T
 		return zero, false
 	}
-	v = c.queue[0]
-	c.queue = c.queue[1:]
-	return v, true
+	return c.popQueue(), true
 }

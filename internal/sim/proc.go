@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Errors returned from blocking process operations.
@@ -20,6 +21,65 @@ var (
 
 // killed is the panic payload used to unwind a process being shut down.
 type killed struct{ err error }
+
+// killedShutdown is the pre-boxed shutdown payload. Shutdown unwinds
+// every live process, so boxing a fresh value per panic would cost one
+// allocation per parked goroutine at every rig teardown.
+var killedShutdown any = &killed{err: ErrShutdown}
+
+// procPool is the cross-kernel free list of detached processes: their
+// goroutines stay parked between simulations, so a host that runs many
+// bounded simulations (benchmark loops, the simulation service, sweep
+// workers) reuses goroutines, channels and hoisted callbacks across
+// rigs instead of re-creating a backlog's worth per run. Bounded so an
+// idle host pins a bounded number of parked goroutines.
+var procPool struct {
+	sync.Mutex
+	head *Proc
+	n    int
+}
+
+// procPoolCap bounds the cross-kernel pool (~a few MB of parked
+// goroutine stacks at most, sized to the largest experiment backlog).
+const procPoolCap = 8192
+
+// releaseProcGlobal pushes a finished detached process onto the
+// cross-kernel pool, detaching it from its (dying) kernel. It reports
+// false when the pool is full, in which case the caller lets the
+// goroutine exit. Safe to call from the process's own goroutine (after
+// finish) or from a shutdown that owns the parked process.
+func releaseProcGlobal(p *Proc) bool {
+	procPool.Lock()
+	if procPool.n >= procPoolCap {
+		procPool.Unlock()
+		return false
+	}
+	p.k = nil
+	p.timer = Event{}
+	p.timerSeq, p.timerErr = 0, nil
+	p.pending = wakeMsg{}
+	p.freeNext = procPool.head
+	procPool.head = p
+	procPool.n++
+	procPool.Unlock()
+	return true
+}
+
+// adoptProcGlobal pops a pooled detached process and re-homes it on k.
+func adoptProcGlobal(k *Kernel) *Proc {
+	procPool.Lock()
+	p := procPool.head
+	if p != nil {
+		procPool.head = p.freeNext
+		procPool.n--
+	}
+	procPool.Unlock()
+	if p != nil {
+		p.freeNext = nil
+		p.k = k
+	}
+	return p
+}
 
 // wakeMsg carries the reason a parked process is resumed.
 type wakeMsg struct {
@@ -186,12 +246,16 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 // (Join, Interrupt, Done) after spawning.
 func (k *Kernel) SpawnDetached(name string, fn func(p *Proc)) {
 	p := k.freeProc
+	if p != nil {
+		k.freeProc = p.freeNext
+		p.freeNext = nil
+	} else {
+		p = adoptProcGlobal(k)
+	}
 	if p == nil {
 		p = newProc(k, name)
 		go p.runDetached()
 	} else {
-		k.freeProc = p.freeNext
-		p.freeNext = nil
 		p.name = name
 		p.done = false
 		p.killErr = nil
@@ -238,7 +302,7 @@ func (p *Proc) run(fn func(p *Proc)) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			if kd, ok := r.(killed); ok {
+			if kd, ok := r.(*killed); ok {
 				p.killErr = kd.err
 				p.finish(false)
 				return
@@ -262,10 +326,15 @@ func (p *Proc) runDetached() {
 	for {
 		msg := <-p.wake
 		if msg.err != nil {
-			// Killed before starting (kernel shutdown): exit for good.
+			// Killed before starting (kernel shutdown). Park on the
+			// cross-kernel pool for the next simulation; exit for good
+			// only when the pool is full.
 			p.killErr = msg.err
 			p.finish(false)
-			return
+			if !releaseProcGlobal(p) {
+				return
+			}
+			continue
 		}
 		if !p.runBody() {
 			return
@@ -280,9 +349,12 @@ func (p *Proc) runBody() (again bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			again = false
-			if kd, ok := r.(killed); ok {
+			if kd, ok := r.(*killed); ok {
+				// Shutdown unwound the body; the goroutine itself is
+				// healthy, so park it on the cross-kernel pool.
 				p.killErr = kd.err
 				p.finish(false)
+				again = releaseProcGlobal(p)
 				return
 			}
 			p.killErr = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
@@ -386,7 +458,7 @@ func (p *Proc) park() wakeMsg {
 	msg := <-p.wake
 	p.blockedOp, p.blockedObj = "", ""
 	if msg.err != nil && errors.Is(msg.err, ErrShutdown) {
-		panic(killed{msg.err})
+		panic(killedShutdown)
 	}
 	p.setState(StateRunning, "resume")
 	return msg

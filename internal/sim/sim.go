@@ -243,15 +243,71 @@ func (k *Kernel) topStale() bool {
 	return e != nil && (e.canceled || e.seq != ent.seq)
 }
 
-// drainStale pops superseded entries off the top of the heap. It is the
-// one place stale entries leave the queue; every mutation (Cancel,
-// Reschedule, step) restores the invariant that the heap's head is live
-// whenever any live event exists, so Idle, NextEventTime and RunUntil's
-// peek are pure reads.
+// drainStale pops superseded entries off the top of the heap. Together
+// with compactQueue it is where stale entries leave the queue; every
+// mutation (Cancel, Reschedule, step) restores the invariant that the
+// heap's head is live whenever any live event exists, so Idle,
+// NextEventTime and RunUntil's peek are pure reads.
 func (k *Kernel) drainStale() {
 	for len(k.queue) > 0 && k.topStale() {
 		k.takeTop()
 	}
+}
+
+// compactQueue rebuilds the heap without its stale entries, releasing
+// their slots. Stale entries buried far from the top (a battery death
+// handle rescheduled on every mode transition leaves one per
+// transition, timed near end-of-life) would otherwise accumulate for
+// the whole run. Triggered when stale entries outnumber live ones 3:1,
+// so the cost is amortized O(1) per cancellation. Pop order is the
+// total order (t, seq), independent of heap shape, so compaction cannot
+// perturb event ordering.
+func (k *Kernel) compactQueue() {
+	kept := k.queue[:0]
+	for _, ent := range k.queue {
+		s := &k.slots[ent.slot]
+		e := s.e
+		if e == nil || (!e.canceled && e.seq == ent.seq) {
+			kept = append(kept, ent)
+			continue
+		}
+		*s = eventSlot{}
+		k.freeSlots = append(k.freeSlots, ent.slot)
+	}
+	k.queue = kept
+	// Sift every internal node down, deepest first (4-ary heapify).
+	for i := (len(kept) - 2) / 4; i >= 0; i-- {
+		k.siftDown(i)
+	}
+}
+
+// siftDown restores the heap property below position i.
+func (k *Kernel) siftDown(i int) {
+	q := k.queue
+	n := len(q)
+	moved := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q[c].before(&q[best]) {
+				best = c
+			}
+		}
+		if !q[best].before(&moved) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = moved
 }
 
 // schedule queues fn at time t under a fresh sequence number, tied to
@@ -278,6 +334,16 @@ func (k *Kernel) schedule(t Time, e *Event, fn func()) uint64 {
 	}
 	k.heapPush(entry{t: t, seq: seq, slot: slot})
 	return seq
+}
+
+// maybeCompact rebuilds the heap when stale entries outnumber live ones
+// 3:1. Callers must only invoke it when every handle's seq matches its
+// live heap entry — i.e. never from inside schedule(), whose Reschedule
+// caller assigns e.seq only after it returns.
+func (k *Kernel) maybeCompact() {
+	if ln := len(k.queue); ln >= 128 && ln > 4*k.live {
+		k.compactQueue()
+	}
 }
 
 // post schedules fn at the current instant with no cancellation handle.
@@ -319,6 +385,7 @@ func (k *Kernel) Cancel(e *Event) {
 	e.queued = false
 	k.live--
 	k.drainStale()
+	k.maybeCompact()
 }
 
 // Reschedule moves e to fire at absolute time t, reusing the handle and
@@ -339,6 +406,7 @@ func (k *Kernel) Reschedule(e *Event, t Time) {
 	e.seq = k.schedule(t, e, e.fn)
 	e.queued = true
 	k.drainStale()
+	k.maybeCompact()
 }
 
 // step fires the next event. It reports false when the queue is empty.
@@ -451,9 +519,17 @@ func (k *Kernel) shutdownProcs() {
 		}
 		p.kill(ErrShutdown)
 	}
-	for p := k.freeProc; p != nil; p = p.freeNext {
-		p.wake <- wakeMsg{err: ErrShutdown}
-		<-p.parked
+	for p := k.freeProc; p != nil; {
+		next := p.freeNext
+		p.freeNext = nil
+		// Idle pooled processes are parked between bodies; move them to
+		// the cross-kernel pool without waking them. Only when that pool
+		// is full does the goroutine get shut down for good.
+		if !releaseProcGlobal(p) {
+			p.wake <- wakeMsg{err: ErrShutdown}
+			<-p.parked
+		}
+		p = next
 	}
 	k.freeProc = nil
 }

@@ -349,6 +349,8 @@ func (rc *recorder) collect(rig *Rig) []LogRecord {
 // runtime buckets — restores any stream that lost lessRecord order, and
 // merges them into the canonical record stream. Streams materialize
 // only after scratch stops growing (append may move the backing array).
+// The result aliases the recorder's pooled slab; it is valid until
+// release.
 func (rc *recorder) finalize() []LogRecord {
 	rc.streams = rc.streams[:0]
 	for _, rg := range rc.ranges {

@@ -1,0 +1,186 @@
+package hotalloc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvsim/internal/lint/linttest"
+)
+
+func TestParseDiag(t *testing.T) {
+	cases := []struct {
+		line string
+		want Diag
+		ok   bool
+	}{
+		{"internal/telemetry/encoder.go:41:10: e escapes to heap", Diag{"internal/telemetry/encoder.go", 41, "e escapes to heap"}, true},
+		{"internal/sim/proc.go:7:2: moved to heap: p", Diag{"internal/sim/proc.go", 7, "moved to heap: p"}, true},
+		{"internal/sim/proc.go:9:6: can inline newProc", Diag{}, false},
+		{"# dvsim/internal/sim", Diag{}, false},
+		{"", Diag{}, false},
+	}
+	for _, c := range cases {
+		got, ok := parseDiag(c.line)
+		if ok != c.ok || got != c.want {
+			t.Errorf("parseDiag(%q) = %+v, %v; want %+v, %v", c.line, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestGatedFileFilter(t *testing.T) {
+	targets := Targets()
+	cases := map[string]bool{
+		"internal/telemetry/encoder.go":      true,
+		"internal/sim/proc.go":               true,
+		"internal/core/runlog.go":            true,
+		"internal/core/experiment.go":        false, // only the record path of core is gated
+		"internal/sweep/sweep.go":            false, // dependency replay noise
+		"/usr/local/go/src/sync/oncefunc.go": false,
+	}
+	for file, want := range cases {
+		if got := gated(targets, file); got != want {
+			t.Errorf("gated(%s) = %v, want %v", file, got, want)
+		}
+	}
+}
+
+func TestAllowlistRoundTrip(t *testing.T) {
+	counts := map[string]int{
+		"internal/sim/proc.go: moved to heap: p":           2,
+		"internal/telemetry/encoder.go: e escapes to heap": 1,
+	}
+	path := filepath.Join(t.TempDir(), "allowlist.txt")
+	if err := os.WriteFile(path, []byte(FormatAllowlist(counts)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(counts) {
+		t.Fatalf("round trip lost entries: got %v want %v", got, counts)
+	}
+	for k, v := range counts {
+		if got[k] != v {
+			t.Errorf("key %q: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestLoadAllowlistErrors(t *testing.T) {
+	if got, err := LoadAllowlist(filepath.Join(t.TempDir(), "absent.txt")); err != nil || len(got) != 0 {
+		t.Errorf("missing allowlist should be empty, not (%v, %v)", got, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not-a-count file.go: msg\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAllowlist(bad); err == nil {
+		t.Error("malformed count should be a parse error")
+	}
+}
+
+func TestFailuresAndDiff(t *testing.T) {
+	rep := &Report{
+		Counts:  map[string]int{"a.go: x escapes to heap": 2, "b.go: moved to heap: y": 1},
+		Allowed: map[string]int{"a.go: x escapes to heap": 1, "c.go: stale escapes to heap": 1},
+	}
+	fails := rep.Failures()
+	if len(fails) != 2 {
+		t.Fatalf("want 2 failures (over-allowance and unlisted), got %v", fails)
+	}
+	diff := rep.Diff()
+	for _, want := range []string{"+ 2/1 a.go: x escapes to heap", "+ 1/0 b.go: moved to heap: y", "- 0/1 c.go: stale escapes to heap"} {
+		if !strings.Contains(diff, want) {
+			t.Errorf("diff missing %q:\n%s", want, diff)
+		}
+	}
+}
+
+// TestGateCleanTree is the committed-allowlist regression gate: the
+// tree must pass its own escape gate, so any new hot-path escape fails
+// go test as well as CI's dvsimlint step.
+func TestGateCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives the compiler over the hot packages")
+	}
+	root := linttest.ModRoot(t)
+	allowed, err := LoadAllowlist(filepath.Join(root, filepath.FromSlash(AllowlistPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(root, Targets(), allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Errorf("hotalloc gate fails on the committed tree:\n%s\n%s", strings.Join(fails, "\n"), rep.Diff())
+	}
+	if len(rep.Diags) == 0 {
+		t.Error("gate saw no diagnostics at all: the compiler drive or the parser is broken")
+	}
+}
+
+// TestSeededEscapeFailsGate is the acceptance specimen: introducing a
+// heap escape into internal/telemetry must fail the gate under the
+// committed allowlist. The package (stdlib-only by design) is copied
+// into a scratch module so the seeded escape never touches the real
+// tree.
+func TestSeededEscapeFailsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives the compiler over a scratch module")
+	}
+	root := linttest.ModRoot(t)
+	tmp := t.TempDir()
+	dst := filepath.Join(tmp, "internal", "telemetry")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "internal", "telemetry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(root, "internal", "telemetry", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module dvsim\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seeded := "package telemetry\n\n" +
+		"// seededEscape forces a heap allocation onto the gated package.\n" +
+		"func seededEscape() *int {\n\tx := 42\n\treturn &x\n}\n"
+	if err := os.WriteFile(filepath.Join(dst, "seeded.go"), []byte(seeded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	allowed, err := LoadAllowlist(filepath.Join(root, filepath.FromSlash(AllowlistPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(tmp, []Target{{Pkg: "dvsim/internal/telemetry"}}, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failures()
+	found := false
+	for _, f := range fails {
+		if strings.Contains(f, "seeded.go") && strings.Contains(f, "moved to heap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("seeded escape not caught; failures: %v\ndiags: %v", fails, rep.Diags)
+	}
+}

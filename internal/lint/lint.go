@@ -28,14 +28,19 @@ import (
 	"dvsim/internal/lint/load"
 )
 
-// Analyzers returns the full analyzer catalog in stable order.
+// Analyzers returns the full AST-analyzer catalog in stable order. The
+// eighth member of the suite, the hotalloc escape gate, drives the
+// compiler rather than the AST and lives in internal/lint/hotalloc; the
+// cmd/dvsimlint driver runs it alongside these.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Nondeterminism,
+		NondetFlow,
 		MapRange,
 		NakedGo,
 		FloatEq,
 		EventReuse,
+		PoolSafe,
 	}
 }
 
@@ -74,11 +79,25 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, opts Options) ([]
 			findings = append(findings, f)
 		}
 	}
+	// Directives are collected for the whole run up front: the
+	// interprocedural analyzers need the suppression state of *other*
+	// packages (an allowed root must not taint its callers) before any
+	// single package is analyzed.
+	dirs := directives{}
 	for _, pkg := range pkgs {
-		dirs, bad := collectDirectives(pkg, known)
+		d, bad := collectDirectives(pkg, known)
 		for _, f := range bad {
 			add(f)
 		}
+		for k := range d {
+			dirs[k] = true
+		}
+	}
+	prog := analysis.NewProgram(fsetOf(pkgs), programPkgs(pkgs))
+	prog.Suppressed = func(analyzer string, pos token.Position) bool {
+		return allowedFile(analyzer, pos.Filename) || dirs.allows(analyzer, pos)
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if !opts.IgnoreScope && !inScope(a.Name, pkg.Path) {
 				continue
@@ -89,6 +108,7 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, opts Options) ([]
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Program:  prog,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
@@ -116,4 +136,24 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, opts Options) ([]
 		return a.Analyzer < b.Analyzer
 	})
 	return findings, nil
+}
+
+// programPkgs adapts the loader's packages to the analysis Program
+// view.
+func programPkgs(pkgs []*load.Package) []*analysis.ProgramPkg {
+	out := make([]*analysis.ProgramPkg, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = &analysis.ProgramPkg{Path: p.Path, Files: p.Files, Types: p.Types, Info: p.Info}
+	}
+	return out
+}
+
+// fsetOf returns the run's shared FileSet. Load type-checks every
+// package against one FileSet; LoadDir runs are single-package, so the
+// first package's set is always the right one.
+func fsetOf(pkgs []*load.Package) *token.FileSet {
+	if len(pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return pkgs[0].Fset
 }

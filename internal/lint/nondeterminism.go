@@ -42,33 +42,77 @@ func runNondeterminism(pass *analysis.Pass) error {
 	}
 	for id, obj := range pass.Info.Uses {
 		fn, ok := obj.(*types.Func)
-		if !ok || fn.Pkg() == nil {
+		if !ok {
 			continue
 		}
-		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-			continue // methods (e.g. rand.Rand.Intn on a seeded local) are fine
-		}
-		name := fn.Name()
-		switch fn.Pkg().Path() {
-		case "time":
-			switch name {
-			case "Now", "Since", "Until", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
-				pass.Reportf(id.Pos(), "wall-clock time.%s in simulator code: simulated time must come from the kernel clock (sim.Kernel.Now / Proc.Now)", name)
-			}
-		case "math/rand", "math/rand/v2":
-			// Constructors (New, NewSource, NewZipf, ...) build the
-			// explicitly seeded locals the invariant asks for; every
-			// other package-level function draws from the process-
-			// global stream.
-			if !strings.HasPrefix(name, "New") {
-				pass.Reportf(id.Pos(), "global %s.%s draws from the process-wide random stream: use an explicitly seeded generator (rand.New(rand.NewSource(seed)) or a splitmix64 stream as in internal/fault/rng.go)", fn.Pkg().Name(), name)
-			}
-		case "os":
-			switch name {
-			case "Getenv", "LookupEnv", "Environ":
-				pass.Reportf(id.Pos(), "os.%s gates simulator behavior on the environment: thread configuration through Params/Options so runs are reproducible from recorded inputs", name)
-			}
+		switch kind, name := nondetRoot(fn); kind {
+		case rootClock:
+			pass.Reportf(id.Pos(), "wall-clock time.%s in simulator code: simulated time must come from the kernel clock (sim.Kernel.Now / Proc.Now)", name)
+		case rootRand:
+			pass.Reportf(id.Pos(), "global %s.%s draws from the process-wide random stream: use an explicitly seeded generator (rand.New(rand.NewSource(seed)) or a splitmix64 stream as in internal/fault/rng.go)", fn.Pkg().Name(), name)
+		case rootEnv:
+			pass.Reportf(id.Pos(), "os.%s gates simulator behavior on the environment: thread configuration through Params/Options so runs are reproducible from recorded inputs", name)
 		}
 	}
 	return nil
+}
+
+// rootKind classifies the banned ambient sources. The zero value means
+// "not a root".
+type rootKind int
+
+const (
+	rootNone rootKind = iota
+	rootClock
+	rootRand
+	rootEnv
+)
+
+// String is the phrasing interprocedural diagnostics use for the root a
+// taint path ends in.
+func (k rootKind) String() string {
+	switch k {
+	case rootClock:
+		return "the wall clock"
+	case rootRand:
+		return "the process-global random stream"
+	case rootEnv:
+		return "an environment read"
+	}
+	return "a nondeterministic source"
+}
+
+// nondetRoot classifies fn as one of the banned ambient sources — the
+// shared vocabulary of the direct (nondeterminism) and interprocedural
+// (nondetflow) passes. Methods are never roots: rand.Rand.Intn on a
+// seeded local is exactly what the invariant steers code toward.
+func nondetRoot(fn *types.Func) (rootKind, string) {
+	if fn == nil || fn.Pkg() == nil {
+		return rootNone, ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return rootNone, ""
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+			return rootClock, name
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewZipf, ...) build the
+		// explicitly seeded locals the invariant asks for; every
+		// other package-level function draws from the process-
+		// global stream.
+		if !strings.HasPrefix(name, "New") {
+			return rootRand, name
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			return rootEnv, name
+		}
+	}
+	return rootNone, ""
 }

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dvsim/internal/lint/analysis"
+)
+
+// NondetFlow is the interprocedural half of the nondeterminism
+// invariant. The direct pass flags a wall-clock read, a global
+// math/rand draw or an environment read at the line it happens — but
+// only inside the guarded packages. Taint that *enters* a guarded
+// package through an intermediate function declared somewhere the
+// direct pass does not look (a cmd/ helper, the service layer, a future
+// util package) used to be invisible: the helper compiles clean where
+// it lives, and the simulator call site looks like any other call.
+//
+// NondetFlow closes that hole over the run's call graph: a function is
+// tainted when some call path from it reaches a banned root
+// (nondetRoot), and a call from guarded code to a tainted function that
+// is *not itself guarded* is a finding, annotated with the witness
+// path. Taint stops at the sanctioned RNG homes (config.go) and at
+// roots carrying a validated //lint:allow nondeterminism directive — an
+// explicitly sanctioned use must not condemn its callers.
+var NondetFlow = &analysis.Analyzer{
+	Name: "nondetflow",
+	Doc:  "flags calls from simulator packages into unguarded functions that transitively reach the wall clock, global math/rand or the environment",
+	Run:  runNondetFlow,
+}
+
+// nondetTaint is one tainted function's record: the root class its
+// witness path reaches and the next hop toward it ("" when the root
+// call is in this very function).
+type nondetTaint struct {
+	kind rootKind
+	root string // e.g. "time.Now"
+	via  string // FuncID of the next hop, "" for a direct root
+}
+
+func runNondetFlow(pass *analysis.Pass) error {
+	prog := pass.Program
+	if prog == nil {
+		return nil
+	}
+	taint := prog.Cached("nondetflow.taint", func() any {
+		return computeNondetTaint(prog)
+	}).(map[string]*nondetTaint)
+
+	// Report call sites in this package whose callee is tainted but
+	// unguarded: the direct pass will never fire inside the callee, so
+	// without this edge the taint ships silently. Guarded callees are
+	// skipped — their own roots are flagged where they happen, and one
+	// finding per root beats one per transitive caller.
+	for _, pkg := range prog.Pkgs {
+		if pkg.Types != pass.Pkg {
+			continue
+		}
+		for _, node := range prog.Graph.Nodes {
+			if node.Pkg != pkg || node.Decl == nil {
+				continue
+			}
+			for _, edge := range node.Out {
+				callee := edge.Callee
+				t := taint[callee.ID]
+				if t == nil || callee.Decl == nil {
+					// Untainted, or an external root/function: direct
+					// root calls are the nondeterminism pass's beat.
+					continue
+				}
+				if inScope(Nondeterminism.Name, callee.Pkg.Path) {
+					continue
+				}
+				pass.Reportf(edge.Site.Pos(), "call to %s reaches %s (%s): the callee is outside the guarded packages, so the direct nondeterminism pass cannot see it; thread kernel time / a seeded stream through instead, or sanction the root with //lint:allow",
+					shortFuncName(callee.Fn), t.kind, taintPath(taint, callee.ID))
+			}
+		}
+	}
+	return nil
+}
+
+// computeNondetTaint finds every function in the program from which a
+// call path reaches a banned root, by reverse BFS from the direct root
+// uses. Suppressed roots (sanctioned files, allow directives) seed
+// nothing.
+func computeNondetTaint(prog *analysis.Program) map[string]*nondetTaint {
+	taint := map[string]*nondetTaint{}
+	var frontier []string
+
+	for id, node := range prog.Graph.Nodes {
+		if node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		kind, root := directNondetRoot(prog, node)
+		if kind == rootNone {
+			continue
+		}
+		taint[id] = &nondetTaint{kind: kind, root: root}
+		frontier = append(frontier, id)
+	}
+
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		node := prog.Graph.Nodes[id]
+		t := taint[id]
+		for _, edge := range node.In {
+			caller := edge.Caller
+			if taint[caller.ID] != nil {
+				continue
+			}
+			taint[caller.ID] = &nondetTaint{kind: t.kind, root: t.root, via: id}
+			frontier = append(frontier, caller.ID)
+		}
+	}
+	return taint
+}
+
+// directNondetRoot reports the first unsuppressed banned use inside the
+// function's body, scanning identifiers in source order so the witness
+// is deterministic.
+func directNondetRoot(prog *analysis.Program, node *analysis.CallNode) (rootKind, string) {
+	kind, root := rootNone, ""
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if kind != rootNone {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := node.Pkg.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		k, name := nondetRoot(fn)
+		if k == rootNone {
+			return true
+		}
+		if prog.Suppressed(Nondeterminism.Name, prog.Fset.Position(id.Pos())) {
+			return true
+		}
+		kind, root = k, fn.Pkg().Name()+"."+name
+		return false
+	})
+	return kind, root
+}
+
+// taintPath renders the witness chain "helper → deeper → time.Now",
+// truncated past four hops.
+func taintPath(taint map[string]*nondetTaint, id string) string {
+	var parts []string
+	for hops := 0; id != ""; hops++ {
+		t := taint[id]
+		if t == nil {
+			break
+		}
+		if hops == 4 {
+			parts = append(parts, "…")
+			break
+		}
+		parts = append(parts, shortID(id))
+		if t.via == "" {
+			parts = append(parts, t.root)
+			break
+		}
+		id = t.via
+	}
+	return strings.Join(parts, " → ")
+}
+
+// shortFuncName is the diagnostic-friendly name of a function:
+// "collectStats" or "(*Server).uptime".
+func shortFuncName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	return shortID(analysis.FuncID(fn))
+}
+
+// shortID strips the package path qualifiers from a FuncID:
+// "(*pkg/path.T).m" → "(*T).m", "pkg/path.f" → "f".
+func shortID(id string) string {
+	if strings.HasPrefix(id, "(") {
+		j := strings.Index(id, ")")
+		if j < 0 {
+			return id
+		}
+		recv := id[1:j]
+		star := strings.HasPrefix(recv, "*")
+		recv = strings.TrimPrefix(recv, "*")
+		if k := strings.LastIndex(recv, "."); k >= 0 {
+			recv = recv[k+1:]
+		}
+		if star {
+			recv = "*" + recv
+		}
+		return "(" + recv + ")" + id[j+1:]
+	}
+	tail := id
+	if i := strings.LastIndex(tail, "/"); i >= 0 {
+		tail = tail[i+1:]
+	}
+	if i := strings.Index(tail, "."); i >= 0 {
+		tail = tail[i+1:]
+	}
+	return tail
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dvsim/internal/lint"
+	"dvsim/internal/lint/linttest"
+)
+
+// TestNondetFlow runs both halves of the nondeterminism invariant over
+// the fixture: the direct pass owns the root lines, the interprocedural
+// pass owns the call sites, and the shared //lint:allow directive must
+// silence both.
+func TestNondetFlow(t *testing.T) {
+	linttest.Run(t, "nondetflowfix", lint.Nondeterminism, lint.NondetFlow)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dvsim/internal/lint"
+	"dvsim/internal/lint/linttest"
+)
+
+func TestPoolSafe(t *testing.T) {
+	linttest.Run(t, "poolsafefix", lint.PoolSafe)
+}

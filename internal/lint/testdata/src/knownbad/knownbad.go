@@ -29,3 +29,19 @@ func rebind(k *sim.Kernel) {
 	ev := k.At(1, func() {})
 	ev.Bind(func() {})
 }
+
+func indirect() int64 { return wallClock() }
+
+type pool struct{ buf []byte }
+
+// grab returns the pooled bytes. The result aliases the pool's slab;
+// it is valid until release.
+func (p *pool) grab() []byte { return p.buf }
+
+func (p *pool) release() {}
+
+func stale(p *pool) byte {
+	b := p.grab()
+	p.release()
+	return b[0]
+}

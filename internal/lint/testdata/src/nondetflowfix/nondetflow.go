@@ -1,0 +1,73 @@
+// Package nondetflowfix exercises the interprocedural nondeterminism
+// pass: wall-clock and environment taint reaching call sites through
+// intermediate functions, witness-path rendering across multiple hops,
+// class-hierarchy resolution through an interface, and the taint stop
+// at an explicitly sanctioned root.
+package nondetflowfix
+
+import (
+	"os"
+	"time"
+)
+
+// helper is the unguarded intermediary: it compiles clean where it
+// lives and carries wall-clock taint to every caller.
+func helper() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now`
+}
+
+func mid() int64 {
+	return helper() // want `call to helper reaches the wall clock \(helper → time\.Now\)`
+}
+
+func top() int64 {
+	return mid() // want `call to mid reaches the wall clock \(mid → helper → time\.Now\)`
+}
+
+func envGate() bool {
+	return os.Getenv("DVSIM_FAST") != "" // want `os\.Getenv gates simulator behavior`
+}
+
+func useEnv() bool {
+	return envGate() // want `call to envGate reaches an environment read \(envGate → os\.Getenv\)`
+}
+
+// ticker dispatches through an interface: class-hierarchy resolution
+// must find the one concrete implementation and carry its taint to the
+// abstract call site.
+type ticker interface {
+	tick() int64
+}
+
+type wallTicker struct{}
+
+func (wallTicker) tick() int64 {
+	return helper() // want `call to helper reaches the wall clock \(helper → time\.Now\)`
+}
+
+func viaInterface(t ticker) int64 {
+	return t.tick() // want `call to \(wallTicker\)\.tick reaches the wall clock \(\(wallTicker\)\.tick → helper → time\.Now\)`
+}
+
+// sanctioned shows the taint stop: an explicitly allowed root must not
+// condemn its callers.
+func sanctioned() int64 {
+	//lint:allow nondeterminism fixture sanctions this wall-clock stand-in
+	return time.Now().UnixNano()
+}
+
+func usesSanctioned() int64 {
+	return sanctioned()
+}
+
+// pure is the control: no path from here reaches a banned root.
+func pure(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func usesPure() int64 {
+	return pure(1, 2)
+}

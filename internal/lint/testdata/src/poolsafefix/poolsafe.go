@@ -1,0 +1,112 @@
+// Package poolsafefix exercises the poolsafe analyzer: the
+// valid-until-release contract on slab-backed values, use-after-release
+// of values and handles, retention into fields and globals, and the
+// interprocedural propagation through un-annotated helpers.
+package poolsafefix
+
+// slab is a stand-in for the pooled stores in internal/core: grab hands
+// out a view of recycled memory, release returns it to the pool.
+type slab struct {
+	buf []int
+}
+
+func get() *slab { return &slab{buf: make([]int, 0, 64)} }
+
+// grab returns the slab's current records. The result aliases the
+// slab's pooled buffer; it is valid until release.
+func (s *slab) grab() []int { return s.buf }
+
+// release returns the slab to the pool.
+func (s *slab) release() {}
+
+// drain is an un-annotated helper: the fixpoint discovers that its
+// result aliases the slab of its parameter.
+func drain(s *slab) []int {
+	return s.grab()
+}
+
+func useAfterRelease() int {
+	s := get()
+	recs := s.grab()
+	s.release()
+	return recs[0] // want `recs aliases pooled memory returned by s\.grab and is used after s\.release\(\) recycled it`
+}
+
+func useViaHelper() int {
+	s := get()
+	recs := drain(s)
+	s.release()
+	return recs[0] // want `recs aliases pooled memory returned by drain and is used after s\.release\(\) recycled it`
+}
+
+func aliasAfterRelease() int {
+	s := get()
+	recs := s.grab()
+	view := recs
+	s.release()
+	return view[0] // want `view aliases pooled memory returned by s\.grab and is used after s\.release\(\) recycled it`
+}
+
+func doubleRelease() {
+	s := get()
+	s.release()
+	s.release() // want `s is used after s\.release\(\) returned its pooled state`
+}
+
+type holder struct {
+	kept []int
+}
+
+func retainField(h *holder) {
+	s := get()
+	recs := s.grab()
+	h.kept = recs // want `field kept retains slab-backed recs \(from s\.grab\) past its release`
+	s.release()
+}
+
+var latest []int
+
+func retainGlobal() {
+	s := get()
+	recs := s.grab()
+	latest = recs // want `package-level latest retains slab-backed recs \(from s\.grab\) past its release`
+	s.release()
+}
+
+// safe is the sanctioned shape: every read happens before the release.
+func safe() int {
+	s := get()
+	recs := s.grab()
+	total := 0
+	for _, r := range recs {
+		total += r
+	}
+	s.release()
+	return total
+}
+
+// earlyExit shows that a release inside a terminating branch does not
+// poison the fallthrough path: the error path releases and returns, the
+// success path keeps reading.
+func earlyExit(fail bool) []int {
+	s := get()
+	recs := s.grab()
+	if fail {
+		s.release()
+		return nil
+	}
+	out := make([]int, len(recs))
+	copy(out, recs)
+	s.release()
+	return out
+}
+
+// allowed demonstrates the suppression path for a deliberate
+// post-release read.
+func allowed() int {
+	s := get()
+	recs := s.grab()
+	s.release()
+	//lint:allow poolsafe fixture demonstrates a sanctioned post-release read
+	return recs[0]
+}
